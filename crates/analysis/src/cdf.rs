@@ -1,0 +1,144 @@
+//! Distribution utilities: CDF evaluation, downsampling for printable
+//! tables, and summary statistics (mean / MAD / percentiles).
+
+/// Arithmetic mean of a slice; NaN when empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Evaluate a step CDF given as sorted `(x, cum_prob)` pairs at `x`.
+/// Returns 0 before the first point and the last probability after the
+/// final point.
+pub fn cdf_at(cdf: &[(f64, f64)], x: f64) -> f64 {
+    let mut result = 0.0;
+    for &(xi, p) in cdf {
+        if xi <= x {
+            result = p;
+        } else {
+            break;
+        }
+    }
+    result
+}
+
+/// Downsample a dense CDF to `points` evenly spaced x positions so it
+/// can be printed as a compact series.
+pub fn downsample_cdf(cdf: &[(f64, f64)], points: usize) -> Vec<(f64, f64)> {
+    if cdf.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let lo = cdf.first().unwrap().0;
+    let hi = cdf.last().unwrap().0;
+    (0..points)
+        .map(|k| {
+            let x = lo + (hi - lo) * (k as f64 + 1.0) / points as f64;
+            (x, cdf_at(cdf, x))
+        })
+        .collect()
+}
+
+/// Summary statistics of a sample distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistributionSummary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Mean absolute value (the paper's MAD when samples are signed
+    /// deviations from a target).
+    pub mean_abs: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl DistributionSummary {
+    /// Summarize a sample (copied and sorted internally).
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return DistributionSummary {
+                count: 0,
+                mean: f64::NAN,
+                mean_abs: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                median: f64::NAN,
+                p95: f64::NAN,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let pct = |q: f64| -> f64 {
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx]
+        };
+        DistributionSummary {
+            count: sorted.len(),
+            mean: mean(&sorted),
+            mean_abs: sorted.iter().map(|x| x.abs()).sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            median: pct(0.5),
+            p95: pct(0.95),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_evaluation_steps() {
+        let cdf = [(0.0, 0.1), (0.5, 0.6), (1.0, 1.0)];
+        assert_eq!(cdf_at(&cdf, -1.0), 0.0);
+        assert_eq!(cdf_at(&cdf, 0.25), 0.1);
+        assert_eq!(cdf_at(&cdf, 0.5), 0.6);
+        assert_eq!(cdf_at(&cdf, 2.0), 1.0);
+    }
+
+    #[test]
+    fn downsample_preserves_endpoints() {
+        let cdf: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64 / 99.0, (i + 1) as f64 / 100.0))
+            .collect();
+        let ds = downsample_cdf(&cdf, 10);
+        assert_eq!(ds.len(), 10);
+        assert!((ds.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in ds.windows(2) {
+            assert!(w[1].1 >= w[0].1, "monotone");
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = DistributionSummary::of(&[-2.0, -1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 0.0).abs() < 1e-12);
+        assert!((s.mean_abs - 1.2).abs() < 1e-12);
+        assert_eq!(s.min, -2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.median, 0.0);
+    }
+
+    #[test]
+    fn empty_summary_is_nan() {
+        let s = DistributionSummary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_nan());
+    }
+}

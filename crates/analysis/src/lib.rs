@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+
+//! Analysis toolkit for the Futility Scaling reproduction: associativity
+//! CDFs and AEF summaries, size-deviation statistics, and plain-text /
+//! CSV report rendering used by every experiment binary.
+
+pub mod cdf;
+pub mod report;
+pub mod stats;
+
+pub use cdf::{cdf_at, downsample_cdf, mean, DistributionSummary};
+pub use report::{write_csv, Table};
+pub use stats::{ci95_halfwidth, geometric_mean, harmonic_mean, stddev};

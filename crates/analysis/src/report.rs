@@ -1,0 +1,173 @@
+//! Plain-text table rendering and CSV output for experiment harnesses.
+
+use std::fmt::Write as _;
+use std::io;
+
+/// A simple column-aligned text table with an optional title, rendering
+/// to a `String` via [`Display`](std::fmt::Display).
+///
+/// # Example
+/// ```
+/// use analysis::Table;
+/// let mut t = Table::new(vec!["scheme".into(), "AEF".into()]);
+/// t.row(vec!["fs".into(), "0.86".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("scheme") && s.contains("0.86"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: Option<String>,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Table {
+            title: None,
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Attach a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Append a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows extend the width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a row of formatted floats with the given precision.
+    pub fn row_mixed(&mut self, label: impl Into<String>, values: &[f64], precision: usize) -> &mut Self {
+        let mut cells = vec![label.into()];
+        cells.extend(values.iter().map(|v| format!("{v:.precision$}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            w[i] = w[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let w = self.widths();
+        let line = |cells: &[String], out: &mut std::fmt::Formatter<'_>| {
+            let mut s = String::new();
+            for (i, width) in w.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{cell:>width$}");
+            }
+            writeln!(out, "{}", s.trim_end())
+        };
+        if let Some(t) = &self.title {
+            writeln!(f, "## {t}")?;
+        }
+        line(&self.header, f)?;
+        let total: usize = w.iter().sum::<usize>() + 2 * w.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(row, f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Write rows as CSV to any writer (used to dump series for plotting).
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: io::Write>(
+    mut w: W,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    writeln!(w, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "value".into()]).with_title("demo");
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("longer"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5, "title, header, rule, 2 rows");
+    }
+
+    #[test]
+    fn row_mixed_formats_floats() {
+        let mut t = Table::new(vec!["k".into(), "v1".into(), "v2".into()]);
+        t.row_mixed("r", &[1.23456, 2.0], 2);
+        assert!(t.to_string().contains("1.23"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "extra".into()]);
+        t.row(vec![]);
+        let s = t.to_string();
+        assert!(s.contains("extra"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut buf = Vec::new();
+        write_csv(
+            &mut buf,
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "x,y\n1,2\n3,4\n");
+    }
+}

@@ -1,0 +1,94 @@
+//! Aggregate statistics for multi-run reporting: alternative means and
+//! normal-approximation confidence intervals.
+
+/// Geometric mean; NaN when empty, and requires positive samples.
+///
+/// # Panics
+/// Panics if any sample is non-positive.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "geometric mean needs positive samples"
+    );
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Harmonic mean (the right aggregate for rates like IPC across equal
+/// instruction counts); NaN when empty.
+///
+/// # Panics
+/// Panics if any sample is non-positive.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "harmonic mean needs positive samples"
+    );
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+}
+
+/// Sample standard deviation (n−1 denominator); NaN for fewer than two
+/// samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let mean = crate::cdf::mean(xs);
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Normal-approximation 95% confidence half-width of the sample mean
+/// (`1.96 · s / √n`); NaN for fewer than two samples.
+pub fn ci95_halfwidth(xs: &[f64]) -> f64 {
+    let s = stddev(xs);
+    1.96 * s / (xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_reciprocals_is_one() {
+        let g = geometric_mean(&[2.0, 0.5, 4.0, 0.25]);
+        assert!((g - 1.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn harmonic_mean_is_dominated_by_small_values() {
+        let h = harmonic_mean(&[1.0, 1.0, 0.1]);
+        let a = crate::cdf::mean(&[1.0, 1.0, 0.1]);
+        assert!(h < a, "harmonic {h} < arithmetic {a}");
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn harmonic_mean_rejects_zero() {
+        let _ = harmonic_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn stddev_and_ci_behave() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((stddev(&xs) - 2.138).abs() < 0.01);
+        let hw = ci95_halfwidth(&xs);
+        assert!(hw > 1.0 && hw < 2.0, "{hw}");
+        assert!(stddev(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn constant_samples_have_zero_spread() {
+        let xs = [3.0; 10];
+        assert_eq!(stddev(&xs), 0.0);
+        assert_eq!(ci95_halfwidth(&xs), 0.0);
+        assert!((geometric_mean(&xs) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Cache Quota Violation Prohibition (CQVP): partitions have quotas, and
+//! victims always come from a partition that exceeds its quota ("always
+//! chooses the cache lines from the partition that exceeds its quota to
+//! evict", Section II-B).
+
+use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, VictimDecision};
+
+/// CQVP scheme. Victim preference order:
+/// 1. the most futile candidate among partitions *over* their quota;
+/// 2. failing that, the most futile candidate of the inserting partition
+///    (its size stays constant: one of its own lines is replaced);
+/// 3. failing that, the most futile candidate overall.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Cqvp;
+
+fn argmax_where<F: Fn(&Candidate) -> bool>(cands: &[Candidate], pred: F) -> Option<usize> {
+    let mut best = None;
+    let mut best_fut = f64::NEG_INFINITY;
+    for (i, c) in cands.iter().enumerate() {
+        if pred(c) && c.futility > best_fut {
+            best_fut = c.futility;
+            best = Some(i);
+        }
+    }
+    best
+}
+
+impl PartitionScheme for Cqvp {
+    fn name(&self) -> &'static str {
+        "cqvp"
+    }
+
+    fn victim(
+        &mut self,
+        incoming: PartitionId,
+        cands: &[Candidate],
+        state: &PartitionState,
+    ) -> VictimDecision {
+        let over_quota =
+            argmax_where(cands, |c| state.oversize(c.part.index()) > 0);
+        let own = || argmax_where(cands, |c| c.part == incoming);
+        let any = || argmax_where(cands, |_| true).expect("non-empty candidates");
+        VictimDecision::evict(over_quota.or_else(own).unwrap_or_else(any))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::SlotId;
+
+    fn cand(slot: SlotId, part: u16, fut: f64) -> Candidate {
+        Candidate {
+            slot,
+            addr: slot as u64,
+            part: PartitionId(part),
+            futility: fut,
+        }
+    }
+
+    fn state(actual: Vec<usize>, targets: Vec<usize>) -> PartitionState {
+        let mut s = PartitionState::new(actual.len(), actual.iter().sum());
+        s.actual = actual;
+        s.targets = targets;
+        s
+    }
+
+    #[test]
+    fn evicts_from_quota_violator() {
+        let mut s = Cqvp;
+        let st = state(vec![60, 40], vec![50, 50]);
+        let cands = [cand(0, 1, 0.9), cand(1, 0, 0.2), cand(2, 0, 0.6)];
+        // P0 violates its quota; its best candidate is index 2.
+        assert_eq!(s.victim(PartitionId(1), &cands, &st).victim, 2);
+    }
+
+    #[test]
+    fn falls_back_to_own_partition() {
+        let mut s = Cqvp;
+        let st = state(vec![40, 40], vec![50, 50]);
+        let cands = [cand(0, 1, 0.9), cand(1, 0, 0.2)];
+        // No violators; inserting partition 0 replaces its own line.
+        assert_eq!(s.victim(PartitionId(0), &cands, &st).victim, 1);
+    }
+
+    #[test]
+    fn falls_back_to_global_max_when_absent() {
+        let mut s = Cqvp;
+        let st = state(vec![40, 40, 40], vec![50, 50, 50]);
+        let cands = [cand(0, 1, 0.3), cand(1, 1, 0.8)];
+        // No violators and no candidate of partition 2.
+        assert_eq!(s.victim(PartitionId(2), &cands, &st).victim, 1);
+    }
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! Baseline cache-partitioning enforcement schemes the paper compares
+//! Futility Scaling against (Sections III-C and VII-B):
+//!
+//! * [`Pf`] — **Partitioning-First** (Algorithm 1): first select the
+//!   most oversized partition among the candidates' partitions, then
+//!   evict its most futile candidate. Near-ideal sizing, but its
+//!   associativity collapses toward the random floor as the number of
+//!   partitions approaches R (Section III-C).
+//! * [`Cqvp`] — **Cache Quota Violation Prohibition**: only partitions
+//!   exceeding their quota may lose lines.
+//! * [`Prism`] — **Probabilistic Shared-cache Management**: picks the
+//!   evicting partition by sampling a per-window eviction-probability
+//!   distribution built from insertion rates and size errors; suffers
+//!   the "abnormality" failure mode when the sampled partition has no
+//!   line among the R candidates.
+//! * [`Vantage`] — managed/unmanaged regions, per-partition apertures,
+//!   demotion instead of eviction; strong isolation only while forced
+//!   evictions from the managed region are rare.
+//! * [`FullAssocIdeal`] — the PF policy on a fully-associative cache:
+//!   exact sizing *and* full associativity. The upper bound every
+//!   realizable scheme is measured against.
+//!
+//! All schemes implement [`cachesim::PartitionScheme`] and plug into
+//! [`cachesim::PartitionedCache`].
+
+mod cqvp;
+mod full_assoc;
+mod pf;
+mod prism;
+mod vantage;
+mod way_partition;
+
+pub use cqvp::Cqvp;
+pub use full_assoc::FullAssocIdeal;
+pub use pf::Pf;
+pub use prism::Prism;
+pub use vantage::{Vantage, VantageConfig};
+pub use way_partition::WayPartitioned;
+
+use cachesim::PartitionScheme;
+
+/// Names of all baseline schemes constructible via [`by_name`].
+pub const ALL_BASELINES: [&str; 6] = [
+    "pf",
+    "cqvp",
+    "prism",
+    "vantage",
+    "full-assoc",
+    "unpartitioned",
+];
+
+/// Construct a baseline scheme by name with default parameters.
+/// Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Box<dyn PartitionScheme>> {
+    match name {
+        "pf" => Some(Box::new(Pf)),
+        "cqvp" => Some(Box::new(Cqvp)),
+        "prism" => Some(Box::new(Prism::default_config())),
+        "vantage" => Some(Box::new(Vantage::default_config())),
+        "full-assoc" => Some(Box::new(FullAssocIdeal)),
+        "unpartitioned" => Some(cachesim::evict_max_futility()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_covers_all_baselines() {
+        for name in ALL_BASELINES {
+            let s = by_name(name).unwrap_or_else(|| panic!("missing scheme {name}"));
+            assert_eq!(s.name(), name);
+        }
+        assert!(by_name("no-such-scheme").is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! Partitioning-First — Algorithm 1 of the paper.
+
+use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, VictimDecision};
+
+/// The Partitioning-First (PF) scheme: **Partition Selection** picks the
+/// candidate partition whose actual size most exceeds its target;
+/// **Victim Identification** evicts that partition's most futile
+/// candidate. Sizing is near-ideal (MAD < 1 line), but with N partitions
+/// the VI step sees only ~R/N candidates, so associativity degrades to
+/// the futility-blind floor as N → R (Figure 2).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Pf;
+
+/// Shared PF victim logic (also used by [`FullAssocIdeal`](crate::FullAssocIdeal)).
+pub(crate) fn pf_victim(cands: &[Candidate], state: &PartitionState) -> usize {
+    // Step 1: Partition Selection — most oversized candidate partition.
+    let chosen = state
+        .most_oversized_of(cands.iter().map(|c| &c.part))
+        .expect("non-empty candidate list");
+    // Step 2: Victim Identification — largest futility within it.
+    let mut best = usize::MAX;
+    let mut best_fut = f64::NEG_INFINITY;
+    for (i, c) in cands.iter().enumerate() {
+        if c.part == chosen && c.futility > best_fut {
+            best_fut = c.futility;
+            best = i;
+        }
+    }
+    best
+}
+
+impl PartitionScheme for Pf {
+    fn name(&self) -> &'static str {
+        "pf"
+    }
+
+    fn victim(
+        &mut self,
+        _incoming: PartitionId,
+        cands: &[Candidate],
+        state: &PartitionState,
+    ) -> VictimDecision {
+        VictimDecision::evict(pf_victim(cands, state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::SlotId;
+
+    fn cand(slot: SlotId, part: u16, fut: f64) -> Candidate {
+        Candidate {
+            slot,
+            addr: slot as u64,
+            part: PartitionId(part),
+            futility: fut,
+        }
+    }
+
+    fn state(actual: Vec<usize>, targets: Vec<usize>) -> PartitionState {
+        let mut s = PartitionState::new(actual.len(), actual.iter().sum());
+        s.actual = actual;
+        s.targets = targets;
+        s
+    }
+
+    #[test]
+    fn picks_most_oversized_partition_first() {
+        let mut pf = Pf;
+        let st = state(vec![60, 40], vec![50, 50]);
+        // P0 is oversized; its low-futility candidate is chosen over
+        // P1's high-futility one — the paper's associativity dilemma.
+        let cands = [cand(0, 1, 0.99), cand(1, 0, 0.10)];
+        assert_eq!(pf.victim(PartitionId(1), &cands, &st).victim, 1);
+    }
+
+    #[test]
+    fn picks_max_futility_within_chosen_partition() {
+        let mut pf = Pf;
+        let st = state(vec![60, 40], vec![50, 50]);
+        let cands = [cand(0, 0, 0.3), cand(1, 0, 0.8), cand(2, 1, 0.9)];
+        assert_eq!(pf.victim(PartitionId(1), &cands, &st).victim, 1);
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_max_futility() {
+        let mut pf = Pf;
+        let st = state(vec![100], vec![100]);
+        let cands = [cand(0, 0, 0.2), cand(1, 0, 0.7), cand(2, 0, 0.4)];
+        assert_eq!(pf.victim(PartitionId(0), &cands, &st).victim, 1);
+    }
+
+    #[test]
+    fn undersized_partitions_can_still_be_chosen_when_all_are() {
+        // If every candidate partition is undersized, PF picks the least
+        // undersized one (max of actual − target).
+        let mut pf = Pf;
+        let st = state(vec![40, 30], vec![50, 50]);
+        let cands = [cand(0, 0, 0.5), cand(1, 1, 0.5)];
+        assert_eq!(pf.victim(PartitionId(0), &cands, &st).victim, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Way-partitioning (column caching) — the canonical *placement-based*
+//! scheme from the paper's background section (§II-B): each partition
+//! owns a subset of the physical ways, victims always come from the
+//! inserting partition's own ways, and resizing means reassigning ways
+//! (lines stranded in reassigned ways become dead weight until evicted,
+//! which is exactly the resizing penalty the paper contrasts with
+//! replacement-based schemes' smooth resizing).
+//!
+//! This scheme only makes sense on a [`SetAssociative`]
+//! (cachesim::array::SetAssociative) array whose slot layout is
+//! `set * ways + way`.
+
+use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, VictimDecision};
+
+/// Way-partitioned placement scheme for a W-way set-associative cache.
+#[derive(Clone, Debug)]
+pub struct WayPartitioned {
+    ways: usize,
+    /// `owner[w]` = partition owning way `w`.
+    owner: Vec<u16>,
+    /// Number of way reassignments performed across reconfigurations.
+    reassignments: u64,
+}
+
+impl WayPartitioned {
+    /// Create a scheme for a cache with `ways` ways. Way ownership is
+    /// derived from the targets at [`configure`](PartitionScheme::configure)
+    /// time by largest remainder, at least one way per partition.
+    ///
+    /// # Panics
+    /// Panics if `ways == 0`.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways > 0);
+        WayPartitioned {
+            ways,
+            owner: vec![0; ways],
+            reassignments: 0,
+        }
+    }
+
+    /// Current way ownership (`owner[way] = partition index`).
+    pub fn owners(&self) -> &[u16] {
+        &self.owner
+    }
+
+    /// Ways owned by a partition.
+    pub fn ways_of(&self, part: PartitionId) -> usize {
+        self.owner.iter().filter(|&&o| o == part.0).count()
+    }
+
+    /// Total way reassignments over the scheme's lifetime (each one
+    /// strands a column of lines — the resizing penalty).
+    pub fn reassignments(&self) -> u64 {
+        self.reassignments
+    }
+
+    fn assign(&mut self, state: &PartitionState) {
+        let parts = state.targets.len();
+        let total: usize = state.targets.iter().sum();
+        let mut shares: Vec<(usize, f64)> = (0..parts)
+            .map(|i| {
+                let exact = if total == 0 {
+                    self.ways as f64 / parts as f64
+                } else {
+                    state.targets[i] as f64 / total as f64 * self.ways as f64
+                };
+                (i, exact)
+            })
+            .collect();
+        let mut ways_of = vec![0usize; parts];
+        let mut assigned = 0usize;
+        for (i, exact) in &shares {
+            // Guarantee one way each, floor the rest.
+            ways_of[*i] = (exact.floor() as usize).max(1);
+            assigned += ways_of[*i];
+        }
+        // Largest remainder for the leftovers (or steal from the
+        // biggest holders when the minimum-1 rule oversubscribed).
+        shares.sort_by(|a, b| {
+            (b.1 - b.1.floor())
+                .partial_cmp(&(a.1 - a.1.floor()))
+                .expect("finite")
+        });
+        let mut k = 0;
+        while assigned < self.ways {
+            ways_of[shares[k % shares.len()].0] += 1;
+            assigned += 1;
+            k += 1;
+        }
+        while assigned > self.ways {
+            let (imax, _) = ways_of
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &w)| w)
+                .expect("non-empty");
+            ways_of[imax] -= 1;
+            assigned -= 1;
+        }
+        let mut new_owner = Vec::with_capacity(self.ways);
+        for (i, &w) in ways_of.iter().enumerate() {
+            new_owner.extend(std::iter::repeat(i as u16).take(w));
+        }
+        debug_assert_eq!(new_owner.len(), self.ways);
+        self.reassignments += self
+            .owner
+            .iter()
+            .zip(&new_owner)
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+        self.owner = new_owner;
+    }
+
+    #[inline]
+    fn way_of_slot(&self, slot: u32) -> usize {
+        slot as usize % self.ways
+    }
+}
+
+impl PartitionScheme for WayPartitioned {
+    fn name(&self) -> &'static str {
+        "way-partition"
+    }
+
+    fn configure(&mut self, state: &PartitionState) {
+        self.assign(state);
+    }
+
+    fn victim(
+        &mut self,
+        incoming: PartitionId,
+        cands: &[Candidate],
+        _state: &PartitionState,
+    ) -> VictimDecision {
+        // Victims come only from the inserting partition's own ways.
+        let mut best = None;
+        let mut best_fut = f64::NEG_INFINITY;
+        for (i, c) in cands.iter().enumerate() {
+            if self.owner[self.way_of_slot(c.slot)] == incoming.0 && c.futility > best_fut {
+                best_fut = c.futility;
+                best = Some(i);
+            }
+        }
+        // A partition always owns at least one way of every set.
+        VictimDecision::evict(best.expect("own way present in every set"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::SlotId;
+
+    fn state(targets: Vec<usize>) -> PartitionState {
+        let total = targets.iter().sum();
+        let mut s = PartitionState::new(targets.len(), total);
+        s.targets = targets;
+        s
+    }
+
+    fn cand(slot: SlotId, part: u16, fut: f64) -> Candidate {
+        Candidate {
+            slot,
+            addr: slot as u64,
+            part: PartitionId(part),
+            futility: fut,
+        }
+    }
+
+    #[test]
+    fn ways_split_proportionally_to_targets() {
+        let mut wp = WayPartitioned::new(16);
+        wp.configure(&state(vec![3_072, 1_024])); // 3:1
+        assert_eq!(wp.ways_of(PartitionId(0)), 12);
+        assert_eq!(wp.ways_of(PartitionId(1)), 4);
+    }
+
+    #[test]
+    fn every_partition_gets_at_least_one_way() {
+        let mut wp = WayPartitioned::new(8);
+        wp.configure(&state(vec![10_000, 1, 1, 1]));
+        for p in 0..4 {
+            assert!(wp.ways_of(PartitionId(p)) >= 1, "partition {p} starved");
+        }
+        assert_eq!(wp.owners().len(), 8);
+    }
+
+    #[test]
+    fn victims_come_from_own_ways_only() {
+        let mut wp = WayPartitioned::new(4);
+        wp.configure(&state(vec![100, 100])); // 2 ways each: owner [0,0,1,1]
+        // Slots: way = slot % 4. Candidate slots 0..4 of one set.
+        let cands = [
+            cand(0, 0, 0.1),
+            cand(1, 0, 0.9),
+            cand(2, 1, 0.95),
+            cand(3, 1, 0.2),
+        ];
+        let st = state(vec![100, 100]);
+        // Partition 0 must ignore the higher-futility line in way 2.
+        assert_eq!(wp.victim(PartitionId(0), &cands, &st).victim, 1);
+        assert_eq!(wp.victim(PartitionId(1), &cands, &st).victim, 2);
+    }
+
+    #[test]
+    fn resizing_counts_reassigned_ways() {
+        let mut wp = WayPartitioned::new(16);
+        wp.configure(&state(vec![1_000, 1_000]));
+        assert_eq!(wp.reassignments(), 8, "initial assignment from all-0");
+        wp.configure(&state(vec![3_000, 1_000]));
+        assert!(wp.reassignments() > 8, "shrinking P1 reassigns ways");
+        assert_eq!(wp.ways_of(PartitionId(0)), 12);
+    }
+}

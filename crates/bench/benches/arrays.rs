@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of candidate generation and the full
+//! evict+install cycle per cache-array organization (set-associative,
+//! skew-associative, zcache with relocation, random-candidates).
+
+use cachesim::array::{CacheArray, RandomCandidates, SetAssociative, SkewAssociative, ZCache};
+use cachesim::hashing::LineHash;
+use cachesim::PartitionId;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const LINES: usize = 16_384;
+
+fn fill(array: &mut dyn CacheArray, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..LINES * 8 {
+        let addr: u64 = rng.gen_range(0..1 << 24);
+        if array.lookup(addr).is_some() {
+            continue;
+        }
+        out.clear();
+        array.candidate_slots(addr, &mut out);
+        if let Some(&slot) = out.iter().find(|&&s| array.occupant(s).is_none()) {
+            array.install(slot, addr, PartitionId(0));
+        }
+    }
+}
+
+fn arrays() -> Vec<(&'static str, Box<dyn CacheArray>)> {
+    vec![
+        (
+            "set_assoc_16w",
+            Box::new(SetAssociative::with_lines(LINES, 16, LineHash::new(1))),
+        ),
+        (
+            "skew_assoc_16w",
+            Box::new(SkewAssociative::new(LINES / 16, 16, 2)),
+        ),
+        ("zcache_4w_r16", Box::new(ZCache::new(LINES / 4, 4, 16, 3))),
+        ("random_r16", Box::new(RandomCandidates::new(LINES, 16, 4))),
+    ]
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_generation");
+    for (name, mut array) in arrays() {
+        fill(array.as_mut(), 9);
+        group.bench_function(name, |b| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut out = Vec::with_capacity(32);
+            b.iter(|| {
+                let addr: u64 = rng.gen_range(0..1 << 24);
+                out.clear();
+                array.candidate_slots(addr, &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_replace_cycle(c: &mut Criterion) {
+    // Full evict+install cycle, including zcache relocation chains.
+    let mut group = c.benchmark_group("evict_install_cycle");
+    for (name, mut array) in arrays() {
+        fill(array.as_mut(), 11);
+        group.bench_function(name, |b| {
+            let mut rng = SmallRng::seed_from_u64(6);
+            let mut out = Vec::with_capacity(32);
+            b.iter(|| {
+                let addr: u64 = rng.gen_range(0..1 << 24);
+                if array.lookup(addr).is_some() {
+                    return;
+                }
+                out.clear();
+                array.candidate_slots(addr, &mut out);
+                // Evict the deepest candidate to exercise relocation.
+                let victim = *out.last().expect("candidates");
+                if array.occupant(victim).is_some() {
+                    array.evict(victim);
+                }
+                array.install(victim, addr, PartitionId(0));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_candidates, bench_replace_cycle
+}
+criterion_main!(benches);

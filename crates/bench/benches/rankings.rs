@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the futility rankings: update cost
+//! (insert/hit/evict) and rank-query cost at realistic pool sizes.
+//! The coarse-grain timestamp LRU is the paper's O(1) hardware design;
+//! the exact rankings pay an O(log n) order-statistic query.
+
+use cachesim::{AccessMeta, FutilityRanking, PartitionId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const POOL: u64 = 16_384;
+const P: PartitionId = PartitionId(0);
+
+fn filled(name: &str) -> Box<dyn FutilityRanking> {
+    let mut r = fs_bench::futility_ranking(name);
+    r.reset(1);
+    for i in 0..POOL {
+        r.on_insert(P, i, i, AccessMeta::with_next_use(i * 3));
+    }
+    r
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking_hit_update");
+    for name in ["coarse-lru", "lru", "lfu", "opt", "random"] {
+        group.bench_function(name, |b| {
+            let mut r = filled(name);
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut t = POOL;
+            b.iter(|| {
+                t += 1;
+                let addr = rng.gen_range(0..POOL);
+                r.on_hit(P, addr, t, AccessMeta::with_next_use(t * 3));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_futility_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking_futility_query");
+    for name in ["coarse-lru", "lru", "lfu", "opt", "random"] {
+        group.bench_function(name, |b| {
+            let r = filled(name);
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| {
+                let addr = rng.gen_range(0..POOL);
+                black_box(r.futility(P, addr))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    // Insert+evict pairs: the miss-path bookkeeping.
+    let mut group = c.benchmark_group("ranking_insert_evict");
+    for name in ["coarse-lru", "lru", "opt"] {
+        group.bench_function(name, |b| {
+            let mut r = filled(name);
+            let mut t = POOL;
+            let mut victim = 0u64;
+            b.iter(|| {
+                t += 1;
+                r.on_evict(P, victim);
+                r.on_insert(P, POOL + t, t, AccessMeta::with_next_use(t * 3));
+                victim += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_updates, bench_futility_query, bench_churn
+}
+criterion_main!(benches);

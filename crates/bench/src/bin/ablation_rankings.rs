@@ -1,0 +1,89 @@
+//! Ablation: "our FS partitioning scheme is conceptually independent of
+//! a futility ranking scheme" (§VI). Feedback-FS runs over every
+//! ranking — exact LRU, coarse timestamp LRU, LFU, OPT, RRIP and the
+//! futility-blind random floor — on the same two-thread workload, and
+//! we report sizing accuracy, each partition's miss ratio and the AEF.
+//!
+//! Expected shape: sizing is enforced by all rankings (the scheme only
+//! needs *some* ordering to scale); hit ratios follow ranking quality
+//! (OPT ≥ LRU ≈ coarse ≈ RRIP ≥ LFU ≥ random on this workload).
+
+use analysis::Table;
+use cachesim::{PartitionId, PartitionedCache};
+use workloads::{benchmark, InterleavedDriver};
+
+const LINES: usize = 16_384; // 1MB
+
+struct Point {
+    occupancy: f64,
+    miss0: f64,
+    miss1: f64,
+    aef0: f64,
+}
+
+fn run(ranking: &str, len: usize) -> Point {
+    let mut cache = PartitionedCache::new(
+        fs_bench::l2_array(LINES, 0xAB3),
+        fs_bench::futility_ranking(ranking),
+        fs_bench::scheme("fs-feedback"),
+        2,
+    );
+    let t0 = LINES * 5 / 8;
+    cache.set_targets(&[t0, LINES - t0]);
+    let traces = vec![
+        benchmark("mcf").expect("profile").generate_with_base(len, 41, 0),
+        benchmark("omnetpp")
+            .expect("profile")
+            .generate_with_base(len, 42, 1 << 40),
+    ];
+    InterleavedDriver::new(traces).run(&mut cache, 0.3);
+    let p0 = cache.stats().partition(PartitionId(0));
+    let p1 = cache.stats().partition(PartitionId(1));
+    Point {
+        occupancy: cache.state().actual[0] as f64 / t0 as f64,
+        miss0: p0.miss_ratio(),
+        miss1: p1.miss_ratio(),
+        aef0: p0.aef(),
+    }
+}
+
+fn main() {
+    let len = fs_bench::scaled(150_000);
+    let mut t = Table::new(vec![
+        "ranking".into(),
+        "P1 occupancy/target".into(),
+        "P1 miss ratio".into(),
+        "P2 miss ratio".into(),
+        "P1 AEF".into(),
+    ])
+    .with_title("Ablation — feedback FS across futility rankings (mcf + omnetpp, 62.5/37.5)");
+    let mut csv = Vec::new();
+    for ranking in ["opt", "lru", "coarse-lru", "rrip", "lfu", "random"] {
+        let p = run(ranking, len);
+        t.row(vec![
+            ranking.into(),
+            format!("{:.3}", p.occupancy),
+            format!("{:.3}", p.miss0),
+            format!("{:.3}", p.miss1),
+            fs_bench::fmt3(p.aef0),
+        ]);
+        csv.push(vec![
+            ranking.into(),
+            format!("{:.4}", p.occupancy),
+            format!("{:.4}", p.miss0),
+            format!("{:.4}", p.miss1),
+            format!("{:.4}", p.aef0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Sizing is ranking-independent (occupancy ~1.0 everywhere); hit ratios\n\
+         track ranking quality, with OPT as the performance headroom the paper\n\
+         reports in §VI and random as the futility-blind floor."
+    );
+    fs_bench::save_csv(
+        "ablation_rankings",
+        &["ranking", "p1_occupancy", "p1_miss", "p2_miss", "p1_aef"],
+        &csv,
+    );
+}

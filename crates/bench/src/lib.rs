@@ -1,0 +1,141 @@
+//! Shared helpers for the experiment binaries that regenerate every
+//! figure and table of the paper (see DESIGN.md §4 for the index).
+//!
+//! Each figure has its own binary (`cargo run --release -p fs-bench
+//! --bin figN`); all binaries accept `--quick` to run a shortened
+//! version suitable for smoke testing, print the paper's expected
+//! series next to the measured ones, and drop a CSV under `results/`.
+
+use cachesim::array::{FullyAssociative, RandomCandidates, SetAssociative};
+use cachesim::hashing::LineHash;
+use cachesim::array::CacheArray;
+use cachesim::{FutilityRanking, PartitionScheme};
+use futility_core::{FeedbackConfig, FsFeedback};
+use std::path::PathBuf;
+
+/// Cache line size used throughout (Table II).
+pub const LINE_BYTES: usize = 64;
+
+/// Convert a capacity in KB to lines.
+pub fn lines_of_kb(kb: usize) -> usize {
+    kb * 1024 / LINE_BYTES
+}
+
+/// Whether `--quick` was passed (shortened traces for smoke runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Scale a trace length down by 8x in quick mode.
+pub fn scaled(len: usize) -> usize {
+    if quick_mode() {
+        len / 8
+    } else {
+        len
+    }
+}
+
+/// The paper's L2 array: 16-way set-associative with hashed (XOR-style)
+/// indexing.
+pub fn l2_array(lines: usize, seed: u64) -> Box<dyn CacheArray> {
+    Box::new(SetAssociative::with_lines(lines, 16, LineHash::new(seed)))
+}
+
+/// The Section IV analytical substrate: a random-candidates cache.
+pub fn random_array(lines: usize, r: usize, seed: u64) -> Box<dyn CacheArray> {
+    Box::new(RandomCandidates::new(lines, r, seed))
+}
+
+/// A fully-associative array (FullAssoc ideal / Figure 6).
+pub fn fa_array(lines: usize) -> Box<dyn CacheArray> {
+    Box::new(FullyAssociative::new(lines))
+}
+
+/// Construct any enforcement scheme evaluated in Section VIII by name:
+/// `"fs-feedback"`, `"pf"`, `"cqvp"`, `"prism"`, `"vantage"`,
+/// `"full-assoc"`, `"unpartitioned"`.
+///
+/// # Panics
+/// Panics on unknown names (these binaries are the only callers).
+pub fn scheme(name: &str) -> Box<dyn PartitionScheme> {
+    if name == "fs-feedback" {
+        return Box::new(FsFeedback::new(FeedbackConfig::default()));
+    }
+    baselines::by_name(name).unwrap_or_else(|| panic!("unknown scheme {name}"))
+}
+
+/// Construct a futility ranking by name (see [`ranking::by_name`]).
+///
+/// # Panics
+/// Panics on unknown names.
+pub fn futility_ranking(name: &str) -> Box<dyn FutilityRanking> {
+    ranking::by_name(name).unwrap_or_else(|| panic!("unknown ranking {name}"))
+}
+
+/// Directory where binaries drop CSV series; created on demand.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results/");
+    dir
+}
+
+/// Save a CSV series under `results/<name>.csv` (best effort: prints a
+/// warning instead of failing the experiment on I/O errors).
+pub fn save_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    match std::fs::File::create(&path) {
+        Ok(f) => {
+            if let Err(e) = analysis::write_csv(f, header, rows) {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: failed to create {}: {e}", path.display()),
+    }
+}
+
+/// Format a float with 3 decimals, rendering NaN as "-".
+pub fn fmt3(x: f64) -> String {
+    if x.is_nan() {
+        "-".into()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_conversion() {
+        assert_eq!(lines_of_kb(512), 8192);
+        assert_eq!(lines_of_kb(8192), 131_072);
+    }
+
+    #[test]
+    fn scheme_factory_covers_fs_and_baselines() {
+        for name in [
+            "fs-feedback",
+            "pf",
+            "cqvp",
+            "prism",
+            "vantage",
+            "full-assoc",
+            "unpartitioned",
+        ] {
+            assert_eq!(scheme(name).name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheme")]
+    fn scheme_factory_rejects_unknown() {
+        let _ = scheme("lottery");
+    }
+
+    #[test]
+    fn fmt3_renders_nan_as_dash() {
+        assert_eq!(fmt3(f64::NAN), "-");
+        assert_eq!(fmt3(0.25), "0.250");
+    }
+}

@@ -1,0 +1,124 @@
+//! Fully-associative array: every resident line is a potential victim.
+//!
+//! There is no finite candidate list; the engine instead asks the
+//! futility ranking for the most futile line of the partition chosen by
+//! the scheme (see
+//! [`PartitionScheme::victim_partition_fully_assoc`](crate::scheme_api::PartitionScheme::victim_partition_fully_assoc)).
+//! Used for the paper's *FullAssoc* ideal scheme and the
+//! fully-associative side of Figure 6.
+
+use super::{CacheArray, SlotTable};
+use crate::ids::{Occupant, PartitionId, SlotId};
+
+/// A fully-associative cache of `num_lines` lines.
+pub struct FullyAssociative {
+    table: SlotTable,
+    free: Vec<SlotId>,
+}
+
+impl FullyAssociative {
+    /// Create an empty fully-associative array.
+    ///
+    /// # Panics
+    /// Panics if `num_lines == 0`.
+    pub fn new(num_lines: usize) -> Self {
+        assert!(num_lines > 0);
+        FullyAssociative {
+            table: SlotTable::new(num_lines),
+            free: (0..num_lines as SlotId).rev().collect(),
+        }
+    }
+}
+
+impl CacheArray for FullyAssociative {
+    fn name(&self) -> &'static str {
+        "fully-assoc"
+    }
+
+    fn num_slots(&self) -> usize {
+        self.table.len()
+    }
+
+    fn candidates_per_eviction(&self) -> usize {
+        self.table.len()
+    }
+
+    fn lookup(&self, addr: u64) -> Option<SlotId> {
+        self.table.lookup(addr)
+    }
+
+    fn occupant(&self, slot: SlotId) -> Option<Occupant> {
+        self.table.occupant(slot)
+    }
+
+    fn candidate_slots(&mut self, _addr: u64, out: &mut Vec<SlotId>) {
+        // Only meaningful while there are free slots; once full the
+        // engine uses the ranking-driven fully-associative path.
+        if let Some(&slot) = self.free.last() {
+            out.push(slot);
+        }
+    }
+
+    fn evict(&mut self, slot: SlotId) {
+        self.table.evict(slot);
+        self.free.push(slot);
+    }
+
+    fn install(&mut self, slot: SlotId, addr: u64, part: PartitionId) {
+        if let Some(pos) = self.free.iter().rposition(|&s| s == slot) {
+            self.free.swap_remove(pos);
+        }
+        self.table.install(slot, addr, part);
+    }
+
+    fn retag(&mut self, slot: SlotId, part: PartitionId) {
+        self.table.retag(slot, part);
+    }
+
+    fn is_fully_associative(&self) -> bool {
+        true
+    }
+
+    fn occupied(&self) -> usize {
+        self.table.occupied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_fully_associative() {
+        let a = FullyAssociative::new(8);
+        assert!(a.is_fully_associative());
+        assert_eq!(a.candidates_per_eviction(), 8);
+    }
+
+    #[test]
+    fn warmup_offers_free_slots() {
+        let mut a = FullyAssociative::new(2);
+        let mut out = Vec::new();
+        a.candidate_slots(1, &mut out);
+        assert_eq!(out.len(), 1);
+        a.install(out[0], 1, PartitionId(0));
+        out.clear();
+        a.candidate_slots(2, &mut out);
+        assert_eq!(out.len(), 1);
+        a.install(out[0], 2, PartitionId(0));
+        out.clear();
+        a.candidate_slots(3, &mut out);
+        assert!(out.is_empty(), "no free slots once full");
+        assert_eq!(a.occupied(), 2);
+    }
+
+    #[test]
+    fn evict_frees_capacity() {
+        let mut a = FullyAssociative::new(1);
+        a.install(0, 9, PartitionId(0));
+        a.evict(0);
+        let mut out = Vec::new();
+        a.candidate_slots(10, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+}

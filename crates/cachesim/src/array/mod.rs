@@ -1,0 +1,199 @@
+//! Cache arrays: the component that "implements associative lookups and
+//! provides a list of replacement candidates on each eviction"
+//! (Section III-A).
+//!
+//! Implementations:
+//! * [`SetAssociative`] — conventional W-way set-associative array with
+//!   pluggable index hashing (R = W); covers the paper's 16-way hashed
+//!   L2 and, with `ways = 1`, the direct-mapped caches of Figure 6.
+//! * [`RandomCandidates`] — the idealized array of Section IV whose R
+//!   candidates are drawn independently and uniformly from the whole
+//!   cache (the *uniformity assumption* holds by construction).
+//! * [`FullyAssociative`] — every line is a candidate; used for the
+//!   FullAssoc upper bound and Figure 6.
+//! * [`SkewAssociative`] — W ways with independent hash functions.
+//! * [`ZCache`] — zcache-style array: W ways, candidate expansion by
+//!   walking rehash positions, relocation on install (gives R > W).
+
+mod fully_assoc;
+mod random_cands;
+mod set_assoc;
+mod skew;
+mod zcache;
+
+pub use fully_assoc::FullyAssociative;
+pub use random_cands::RandomCandidates;
+pub use set_assoc::SetAssociative;
+pub use skew::SkewAssociative;
+pub use zcache::ZCache;
+
+use crate::ids::{Occupant, PartitionId, SlotId};
+
+/// A physical cache array. All addresses are line addresses.
+///
+/// The engine drives arrays as follows: on a miss it calls
+/// [`candidate_slots`](CacheArray::candidate_slots); if a returned slot
+/// is empty the incoming line is installed there, otherwise the scheme
+/// picks a victim among the occupied candidates, the engine calls
+/// [`evict`](CacheArray::evict) on the victim slot and then
+/// [`install`](CacheArray::install) with that slot. Arrays that relocate
+/// lines internally (zcache) may move other lines during `install`, but
+/// must keep `lookup` consistent.
+pub trait CacheArray: Send {
+    /// Short identifier, e.g. `"set-assoc"`, `"rand-cands"`.
+    fn name(&self) -> &'static str;
+
+    /// Total number of line slots.
+    fn num_slots(&self) -> usize;
+
+    /// Nominal number of replacement candidates per eviction (`R`).
+    fn candidates_per_eviction(&self) -> usize;
+
+    /// Find the slot currently holding `addr`, if cached.
+    fn lookup(&self, addr: u64) -> Option<SlotId>;
+
+    /// Occupant of a slot, or `None` if the slot is empty.
+    fn occupant(&self, slot: SlotId) -> Option<Occupant>;
+
+    /// Append the replacement-candidate slots for inserting `addr` into
+    /// `out` (cleared by the caller). May include empty slots; must
+    /// return at least one slot unless the array reports itself as
+    /// fully associative.
+    fn candidate_slots(&mut self, addr: u64, out: &mut Vec<SlotId>);
+
+    /// Remove the occupant of `slot`.
+    ///
+    /// # Panics
+    /// May panic if the slot is empty.
+    fn evict(&mut self, slot: SlotId);
+
+    /// Install `addr` (tagged with `part`) using `slot`, which must be
+    /// empty. Relocating arrays may instead place `addr` elsewhere and
+    /// shuffle resident lines into `slot`.
+    fn install(&mut self, slot: SlotId, addr: u64, part: PartitionId);
+
+    /// Change the partition tag of the line in `slot`.
+    ///
+    /// # Panics
+    /// May panic if the slot is empty.
+    fn retag(&mut self, slot: SlotId, part: PartitionId);
+
+    /// Whether this array is fully associative (no candidate list; the
+    /// engine asks the ranking for victims instead).
+    fn is_fully_associative(&self) -> bool {
+        false
+    }
+
+    /// Number of occupied slots.
+    fn occupied(&self) -> usize;
+}
+
+/// Shared slot-table helper used by the concrete arrays.
+#[derive(Clone, Debug)]
+pub(crate) struct SlotTable {
+    slots: Vec<Option<Occupant>>,
+    map: crate::fxmap::FxHashMap<u64, SlotId>,
+    occupied: usize,
+}
+
+impl SlotTable {
+    pub(crate) fn new(n: usize) -> Self {
+        SlotTable {
+            slots: vec![None; n],
+            map: crate::fxmap::FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            occupied: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    pub(crate) fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    #[inline]
+    pub(crate) fn lookup(&self, addr: u64) -> Option<SlotId> {
+        self.map.get(&addr).copied()
+    }
+
+    #[inline]
+    pub(crate) fn occupant(&self, slot: SlotId) -> Option<Occupant> {
+        self.slots[slot as usize]
+    }
+
+    pub(crate) fn evict(&mut self, slot: SlotId) {
+        let occ = self.slots[slot as usize]
+            .take()
+            .expect("evict from empty slot");
+        self.map.remove(&occ.addr);
+        self.occupied -= 1;
+    }
+
+    pub(crate) fn install(&mut self, slot: SlotId, addr: u64, part: PartitionId) {
+        assert!(
+            self.slots[slot as usize].is_none(),
+            "install into occupied slot {slot}"
+        );
+        self.slots[slot as usize] = Some(Occupant { addr, part });
+        self.map.insert(addr, slot);
+        self.occupied += 1;
+    }
+
+    pub(crate) fn retag(&mut self, slot: SlotId, part: PartitionId) {
+        let occ = self.slots[slot as usize]
+            .as_mut()
+            .expect("retag empty slot");
+        occ.part = part;
+    }
+
+    /// Move the occupant of `from` into the empty slot `to`.
+    pub(crate) fn relocate(&mut self, from: SlotId, to: SlotId) {
+        assert!(self.slots[to as usize].is_none(), "relocate into occupied");
+        let occ = self.slots[from as usize]
+            .take()
+            .expect("relocate from empty");
+        self.map.insert(occ.addr, to);
+        self.slots[to as usize] = Some(occ);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_table_install_lookup_evict() {
+        let mut t = SlotTable::new(4);
+        t.install(2, 99, PartitionId(1));
+        assert_eq!(t.lookup(99), Some(2));
+        assert_eq!(t.occupant(2).unwrap().part, PartitionId(1));
+        assert_eq!(t.occupied(), 1);
+        t.retag(2, PartitionId(3));
+        assert_eq!(t.occupant(2).unwrap().part, PartitionId(3));
+        t.evict(2);
+        assert_eq!(t.lookup(99), None);
+        assert_eq!(t.occupied(), 0);
+    }
+
+    #[test]
+    fn slot_table_relocate_moves_mapping() {
+        let mut t = SlotTable::new(4);
+        t.install(0, 7, PartitionId(0));
+        t.relocate(0, 3);
+        assert_eq!(t.lookup(7), Some(3));
+        assert!(t.occupant(0).is_none());
+        assert_eq!(t.occupied(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "install into occupied")]
+    fn double_install_panics() {
+        let mut t = SlotTable::new(2);
+        t.install(0, 1, PartitionId(0));
+        t.install(0, 2, PartitionId(0));
+    }
+}

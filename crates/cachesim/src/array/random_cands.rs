@@ -1,0 +1,169 @@
+//! The idealized "random candidates" array of Section IV: on each
+//! eviction the R replacement candidates are independent and uniformly
+//! distributed over the whole cache, so the analytical framework's
+//! *uniformity assumption* holds by construction. The paper's Figures 4
+//! and 5 are measured on a 2MB instance of this array with R = 16.
+
+use super::{CacheArray, SlotTable};
+use crate::ids::{Occupant, PartitionId, SlotId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A cache array whose candidate list is `R` slots sampled uniformly at
+/// random (without replacement) from the whole array.
+pub struct RandomCandidates {
+    table: SlotTable,
+    r: usize,
+    rng: SmallRng,
+    free: Vec<SlotId>,
+}
+
+impl RandomCandidates {
+    /// Create an array of `num_lines` slots providing `r` candidates per
+    /// eviction, with a deterministic sampling seed.
+    ///
+    /// # Panics
+    /// Panics if `r == 0` or `r > num_lines`.
+    pub fn new(num_lines: usize, r: usize, seed: u64) -> Self {
+        assert!(r > 0 && r <= num_lines, "need 0 < R <= num_lines");
+        RandomCandidates {
+            table: SlotTable::new(num_lines),
+            r,
+            rng: SmallRng::seed_from_u64(seed),
+            free: (0..num_lines as SlotId).rev().collect(),
+        }
+    }
+}
+
+impl CacheArray for RandomCandidates {
+    fn name(&self) -> &'static str {
+        "rand-cands"
+    }
+
+    fn num_slots(&self) -> usize {
+        self.table.len()
+    }
+
+    fn candidates_per_eviction(&self) -> usize {
+        self.r
+    }
+
+    fn lookup(&self, addr: u64) -> Option<SlotId> {
+        self.table.lookup(addr)
+    }
+
+    fn occupant(&self, slot: SlotId) -> Option<Occupant> {
+        self.table.occupant(slot)
+    }
+
+    fn candidate_slots(&mut self, _addr: u64, out: &mut Vec<SlotId>) {
+        // While the cache is filling, hand out a free slot directly.
+        if let Some(&slot) = self.free.last() {
+            out.push(slot);
+            return;
+        }
+        // Full cache: R distinct uniform slots (rejection sampling; R is
+        // tiny compared to the slot count, so retries are rare).
+        let n = self.table.len() as u32;
+        while out.len() < self.r {
+            let s = self.rng.gen_range(0..n);
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+    }
+
+    fn evict(&mut self, slot: SlotId) {
+        self.table.evict(slot);
+        self.free.push(slot);
+    }
+
+    fn install(&mut self, slot: SlotId, addr: u64, part: PartitionId) {
+        if let Some(pos) = self.free.iter().rposition(|&s| s == slot) {
+            self.free.swap_remove(pos);
+        }
+        self.table.install(slot, addr, part);
+    }
+
+    fn retag(&mut self, slot: SlotId, part: PartitionId) {
+        self.table.retag(slot, part);
+    }
+
+    fn occupied(&self) -> usize {
+        self.table.occupied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_free_slots_before_sampling() {
+        let mut a = RandomCandidates::new(4, 2, 1);
+        let mut out = Vec::new();
+        a.candidate_slots(0, &mut out);
+        assert_eq!(out.len(), 1, "warmup returns a single free slot");
+        let s = out[0];
+        a.install(s, 10, PartitionId(0));
+        assert_eq!(a.occupied(), 1);
+    }
+
+    #[test]
+    fn full_cache_returns_r_distinct_occupied() {
+        let mut a = RandomCandidates::new(8, 4, 2);
+        for addr in 0..8u64 {
+            let mut out = Vec::new();
+            a.candidate_slots(addr, &mut out);
+            a.install(out[0], addr, PartitionId(0));
+        }
+        let mut out = Vec::new();
+        a.candidate_slots(99, &mut out);
+        assert_eq!(out.len(), 4);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "candidates must be distinct");
+        assert!(out.iter().all(|&s| a.occupant(s).is_some()));
+    }
+
+    #[test]
+    fn candidates_cover_the_cache_uniformly() {
+        // Statistical check of the uniformity assumption: every slot
+        // should appear as a candidate with roughly equal frequency.
+        let n = 64;
+        let mut a = RandomCandidates::new(n, 8, 3);
+        for addr in 0..n as u64 {
+            let mut out = Vec::new();
+            a.candidate_slots(addr, &mut out);
+            a.install(out[0], addr, PartitionId(0));
+        }
+        let mut counts = vec![0u32; n];
+        let trials = 4000;
+        for _ in 0..trials {
+            let mut out = Vec::new();
+            a.candidate_slots(0, &mut out);
+            for s in out {
+                counts[s as usize] += 1;
+            }
+        }
+        let expected = (trials * 8 / n) as f64; // 500
+        for &c in &counts {
+            assert!(
+                (c as f64) > expected * 0.7 && (c as f64) < expected * 1.3,
+                "slot frequency {c} too far from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn evict_returns_slot_to_free_pool() {
+        let mut a = RandomCandidates::new(2, 1, 4);
+        a.install(0, 5, PartitionId(0));
+        a.install(1, 6, PartitionId(0));
+        a.evict(0);
+        let mut out = Vec::new();
+        a.candidate_slots(7, &mut out);
+        assert_eq!(out, vec![0], "freed slot is offered first");
+    }
+}

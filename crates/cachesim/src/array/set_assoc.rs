@@ -1,0 +1,160 @@
+//! Conventional set-associative cache array with pluggable indexing.
+
+use super::{CacheArray, SlotTable};
+use crate::hashing::IndexHash;
+use crate::ids::{Occupant, PartitionId, SlotId};
+
+/// A `sets × ways` set-associative array. Slot `set * ways + way`.
+///
+/// With `ways = 1` this is a direct-mapped cache (one replacement
+/// candidate, the paper's worst-case baseline in Figure 6).
+pub struct SetAssociative {
+    table: SlotTable,
+    sets: usize,
+    ways: usize,
+    hash: Box<dyn IndexHash>,
+}
+
+impl SetAssociative {
+    /// Create an array with `sets` sets of `ways` ways, indexed by
+    /// `hash(addr) % sets`.
+    ///
+    /// # Panics
+    /// Panics if `sets == 0` or `ways == 0`.
+    pub fn new<H: IndexHash + 'static>(sets: usize, ways: usize, hash: H) -> Self {
+        assert!(sets > 0 && ways > 0, "sets and ways must be nonzero");
+        SetAssociative {
+            table: SlotTable::new(sets * ways),
+            sets,
+            ways,
+            hash: Box::new(hash),
+        }
+    }
+
+    /// Build an array of `total_lines` lines with the given way count
+    /// (helper for "a 512KB 16-way cache" style configuration).
+    ///
+    /// # Panics
+    /// Panics if `total_lines` is not a multiple of `ways`.
+    pub fn with_lines<H: IndexHash + 'static>(total_lines: usize, ways: usize, hash: H) -> Self {
+        assert_eq!(
+            total_lines % ways,
+            0,
+            "total_lines {total_lines} not a multiple of ways {ways}"
+        );
+        SetAssociative::new(total_lines / ways, ways, hash)
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> usize {
+        (self.hash.hash(addr) % self.sets as u64) as usize
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+impl CacheArray for SetAssociative {
+    fn name(&self) -> &'static str {
+        "set-assoc"
+    }
+
+    fn num_slots(&self) -> usize {
+        self.table.len()
+    }
+
+    fn candidates_per_eviction(&self) -> usize {
+        self.ways
+    }
+
+    fn lookup(&self, addr: u64) -> Option<SlotId> {
+        // The map-based lookup is O(1); verify residency in debug builds.
+        let slot = self.table.lookup(addr)?;
+        debug_assert_eq!(slot as usize / self.ways, self.set_of(addr));
+        Some(slot)
+    }
+
+    fn occupant(&self, slot: SlotId) -> Option<Occupant> {
+        self.table.occupant(slot)
+    }
+
+    fn candidate_slots(&mut self, addr: u64, out: &mut Vec<SlotId>) {
+        let set = self.set_of(addr);
+        let base = (set * self.ways) as SlotId;
+        out.extend(base..base + self.ways as SlotId);
+    }
+
+    fn evict(&mut self, slot: SlotId) {
+        self.table.evict(slot);
+    }
+
+    fn install(&mut self, slot: SlotId, addr: u64, part: PartitionId) {
+        debug_assert_eq!(slot as usize / self.ways, self.set_of(addr));
+        self.table.install(slot, addr, part);
+    }
+
+    fn retag(&mut self, slot: SlotId, part: PartitionId) {
+        self.table.retag(slot, part);
+    }
+
+    fn occupied(&self) -> usize {
+        self.table.occupied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::{LineHash, ModuloIndex};
+
+    #[test]
+    fn candidates_are_the_whole_set() {
+        let mut a = SetAssociative::new(4, 2, ModuloIndex);
+        let mut out = Vec::new();
+        a.candidate_slots(5, &mut out); // set 1 with modulo indexing
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn install_then_lookup_then_evict() {
+        let mut a = SetAssociative::new(4, 2, ModuloIndex);
+        let mut out = Vec::new();
+        a.candidate_slots(9, &mut out); // set 1
+        let slot = out[0];
+        a.install(slot, 9, PartitionId(0));
+        assert_eq!(a.lookup(9), Some(slot));
+        assert_eq!(a.occupied(), 1);
+        a.evict(slot);
+        assert_eq!(a.lookup(9), None);
+    }
+
+    #[test]
+    fn direct_mapped_has_one_candidate() {
+        let mut a = SetAssociative::with_lines(64, 1, LineHash::new(3));
+        assert_eq!(a.candidates_per_eviction(), 1);
+        let mut out = Vec::new();
+        a.candidate_slots(1234, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn with_lines_builds_right_geometry() {
+        let a = SetAssociative::with_lines(8192, 16, LineHash::new(0));
+        assert_eq!(a.sets(), 512);
+        assert_eq!(a.ways(), 16);
+        assert_eq!(a.num_slots(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn with_lines_rejects_bad_geometry() {
+        let _ = SetAssociative::with_lines(100, 16, LineHash::new(0));
+    }
+}

@@ -1,0 +1,446 @@
+//! The trace-driven simulation engine composing a cache array, a
+//! futility ranking and a partitioning scheme into one partitioned
+//! shared cache.
+
+use crate::array::CacheArray;
+use crate::ids::{AccessMeta, PartitionId, SlotId};
+use crate::ranking_api::FutilityRanking;
+use crate::scheme_api::{Candidate, PartitionScheme, PartitionState};
+use crate::stats::CacheStats;
+
+/// A line evicted during an access, reported back to the driver.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Eviction {
+    /// Evicted line address.
+    pub addr: u64,
+    /// Pool the line belonged to at eviction time.
+    pub part: PartitionId,
+    /// True (exact-rank) futility of the line at eviction time.
+    pub futility: f64,
+}
+
+/// Result of one cache access.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum AccessOutcome {
+    /// The line was resident.
+    Hit,
+    /// The line missed and was installed, evicting `evicted` (or nothing
+    /// while the cache still had free space).
+    Miss {
+        /// The victim, if an eviction was necessary.
+        evicted: Option<Eviction>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// The eviction triggered by this access, if any.
+    pub fn eviction(&self) -> Option<Eviction> {
+        match self {
+            AccessOutcome::Miss { evicted } => *evicted,
+            AccessOutcome::Hit => None,
+        }
+    }
+}
+
+/// A partitioned shared cache: array + futility ranking + scheme.
+///
+/// # Example
+///
+/// ```
+/// use cachesim::{PartitionedCache, PartitionId, AccessMeta};
+/// use cachesim::array::RandomCandidates;
+///
+/// let array = RandomCandidates::new(256, 16, 42);
+/// let mut cache = PartitionedCache::new(
+///     Box::new(array),
+///     cachesim::naive_lru(),
+///     cachesim::evict_max_futility(),
+///     2,
+/// );
+/// cache.set_targets(&[128, 128]);
+/// for addr in 0..512u64 {
+///     cache.access(PartitionId((addr % 2) as u16), addr, AccessMeta::default());
+/// }
+/// assert_eq!(cache.stats().total_misses(), 512);
+/// ```
+pub struct PartitionedCache {
+    array: Box<dyn CacheArray>,
+    ranking: Box<dyn FutilityRanking>,
+    scheme: Box<dyn PartitionScheme>,
+    state: PartitionState,
+    stats: CacheStats,
+    time: u64,
+    partitions: usize,
+    cand_slots: Vec<SlotId>,
+    cands: Vec<Candidate>,
+}
+
+impl PartitionedCache {
+    /// Compose a cache with `partitions` application partitions. Targets
+    /// default to an equal share of the array; adjust with
+    /// [`set_targets`](Self::set_targets).
+    ///
+    /// # Panics
+    /// Panics if `partitions == 0`.
+    pub fn new(
+        array: Box<dyn CacheArray>,
+        mut ranking: Box<dyn FutilityRanking>,
+        mut scheme: Box<dyn PartitionScheme>,
+        partitions: usize,
+    ) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        let pools = partitions + scheme.extra_pools();
+        ranking.reset(pools);
+        let total = array.num_slots();
+        let mut state = PartitionState::new(pools, total);
+        let share = total / partitions;
+        for t in state.targets.iter_mut().take(partitions) {
+            *t = share;
+        }
+        scheme.configure(&state);
+        PartitionedCache {
+            stats: CacheStats::new(pools),
+            array,
+            ranking,
+            scheme,
+            state,
+            time: 0,
+            partitions,
+            cand_slots: Vec::with_capacity(64),
+            cands: Vec::with_capacity(64),
+        }
+    }
+
+    /// Set per-partition targets (lines). Slices shorter than the
+    /// partition count leave the remaining targets unchanged.
+    ///
+    /// # Panics
+    /// Panics if `targets` is longer than the partition count.
+    pub fn set_targets(&mut self, targets: &[usize]) {
+        assert!(targets.len() <= self.partitions);
+        self.state.targets[..targets.len()].copy_from_slice(targets);
+        self.scheme.configure(&self.state);
+    }
+
+    /// Number of application partitions (excluding scheme pools).
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Simulation statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (e.g. to `reset()` after warmup or to disable
+    /// deviation sampling for throughput runs).
+    pub fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    /// Current sizing state (targets, actual sizes, counters).
+    pub fn state(&self) -> &PartitionState {
+        &self.state
+    }
+
+    /// The futility ranking (for inspection).
+    pub fn ranking(&self) -> &dyn FutilityRanking {
+        self.ranking.as_ref()
+    }
+
+    /// The scheme (for inspection).
+    pub fn scheme(&self) -> &dyn PartitionScheme {
+        self.scheme.as_ref()
+    }
+
+    /// The array (for inspection).
+    pub fn array(&self) -> &dyn CacheArray {
+        self.array.as_ref()
+    }
+
+    /// Engine time: number of accesses processed so far.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Process one access from `part` to line `addr`.
+    pub fn access(&mut self, part: PartitionId, addr: u64, meta: AccessMeta) -> AccessOutcome {
+        debug_assert!(part.index() < self.partitions, "foreign pool access");
+        self.time += 1;
+        if let Some(slot) = self.array.lookup(addr) {
+            let mut pool = self.array.occupant(slot).expect("lookup hit empty slot").part;
+            if pool != part {
+                if let Some(dest) = self.scheme.on_foreign_hit(pool, part) {
+                    self.apply_retag(slot, pool, dest);
+                    pool = dest;
+                }
+            }
+            self.ranking.on_hit(pool, addr, self.time, meta);
+            self.scheme.notify_hit(pool);
+            self.stats.record_hit(part);
+            return AccessOutcome::Hit;
+        }
+
+        self.stats.record_miss(part);
+        let dest_pool = self.scheme.insertion_pool(part);
+
+        if self.array.is_fully_associative() {
+            return self.miss_fully_associative(part, dest_pool, addr, meta);
+        }
+
+        self.cand_slots.clear();
+        self.array.candidate_slots(addr, &mut self.cand_slots);
+        debug_assert!(!self.cand_slots.is_empty(), "array returned no candidates");
+
+        // Prefer an empty candidate slot: no eviction necessary.
+        if let Some(&free) = self
+            .cand_slots
+            .iter()
+            .find(|&&s| self.array.occupant(s).is_none())
+        {
+            self.install(free, dest_pool, addr, meta);
+            return AccessOutcome::Miss { evicted: None };
+        }
+
+        self.cands.clear();
+        for &slot in &self.cand_slots {
+            let occ = self.array.occupant(slot).expect("occupied candidate");
+            self.cands.push(Candidate {
+                slot,
+                addr: occ.addr,
+                part: occ.part,
+                futility: self.ranking.futility(occ.part, occ.addr),
+            });
+        }
+
+        let decision = self.scheme.victim(part, &self.cands, &self.state);
+        debug_assert!(decision.victim < self.cands.len());
+
+        for &(idx, to) in &decision.retags {
+            let c = self.cands[idx];
+            if c.part != to {
+                self.apply_retag(c.slot, c.part, to);
+            }
+        }
+
+        let victim_slot = self.cands[decision.victim].slot;
+        let victim = self.array.occupant(victim_slot).expect("victim vanished");
+        let futility = self.ranking.true_futility(victim.part, victim.addr);
+        self.evict(victim_slot, victim.part, victim.addr, futility);
+        self.install(victim_slot, dest_pool, addr, meta);
+        AccessOutcome::Miss {
+            evicted: Some(Eviction {
+                addr: victim.addr,
+                part: victim.part,
+                futility,
+            }),
+        }
+    }
+
+    fn miss_fully_associative(
+        &mut self,
+        part: PartitionId,
+        dest_pool: PartitionId,
+        addr: u64,
+        meta: AccessMeta,
+    ) -> AccessOutcome {
+        self.cand_slots.clear();
+        self.array.candidate_slots(addr, &mut self.cand_slots);
+        if let Some(&free) = self.cand_slots.first() {
+            self.install(free, dest_pool, addr, meta);
+            return AccessOutcome::Miss { evicted: None };
+        }
+        let victim_pool = self.scheme.victim_partition_fully_assoc(part, &self.state);
+        let victim_addr = self
+            .ranking
+            .max_futility_line(victim_pool)
+            .expect("fully-associative eviction from empty pool: ranking must support max_futility_line");
+        let slot = self.array.lookup(victim_addr).expect("ranking/array out of sync");
+        let futility = self.ranking.true_futility(victim_pool, victim_addr);
+        self.evict(slot, victim_pool, victim_addr, futility);
+        self.install(slot, dest_pool, addr, meta);
+        AccessOutcome::Miss {
+            evicted: Some(Eviction {
+                addr: victim_addr,
+                part: victim_pool,
+                futility,
+            }),
+        }
+    }
+
+    fn apply_retag(&mut self, slot: SlotId, from: PartitionId, to: PartitionId) {
+        let occ = self.array.occupant(slot).expect("retag empty slot");
+        debug_assert_eq!(occ.part, from);
+        // A retag out of an application partition into a scheme pool is
+        // the moment the line stops serving its partition: record its
+        // futility as an (associativity-relevant) departure, exactly as
+        // an eviction would be recorded.
+        if from.index() < self.partitions && to.index() >= self.partitions {
+            let f = self.ranking.true_futility(from, occ.addr);
+            self.stats.record_eviction(from, f);
+        }
+        self.array.retag(slot, to);
+        self.ranking.on_retag(from, to, occ.addr);
+        self.state.actual[from.index()] -= 1;
+        self.state.actual[to.index()] += 1;
+    }
+
+    fn evict(&mut self, slot: SlotId, pool: PartitionId, addr: u64, futility: f64) {
+        // Departures of application-partition lines are recorded here;
+        // scheme-pool departures were already recorded at demotion time.
+        if pool.index() < self.partitions {
+            self.stats.record_eviction(pool, futility);
+        }
+        self.ranking.on_evict(pool, addr);
+        self.array.evict(slot);
+        self.state.actual[pool.index()] -= 1;
+        self.state.evictions[pool.index()] += 1;
+        self.scheme.notify_evict(pool, &self.state);
+        self.stats
+            .sample_deviations(&self.state.actual[..self.partitions], &self.state.targets);
+    }
+
+    fn install(&mut self, slot: SlotId, pool: PartitionId, addr: u64, meta: AccessMeta) {
+        self.array.install(slot, addr, pool);
+        self.ranking.on_insert(pool, addr, self.time, meta);
+        self.state.actual[pool.index()] += 1;
+        self.state.insertions[pool.index()] += 1;
+        self.scheme.notify_insert(pool, &self.state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{FullyAssociative, RandomCandidates, SetAssociative};
+    use crate::hashing::LineHash;
+
+    fn small_cache(partitions: usize) -> PartitionedCache {
+        PartitionedCache::new(
+            Box::new(RandomCandidates::new(64, 8, 1)),
+            crate::naive_lru(),
+            crate::evict_max_futility(),
+            partitions,
+        )
+    }
+
+    #[test]
+    fn second_access_hits() {
+        let mut c = small_cache(1);
+        let p = PartitionId(0);
+        assert!(!c.access(p, 42, AccessMeta::default()).is_hit());
+        assert!(c.access(p, 42, AccessMeta::default()).is_hit());
+        assert_eq!(c.stats().partition(p).hits, 1);
+        assert_eq!(c.stats().partition(p).misses, 1);
+    }
+
+    #[test]
+    fn no_eviction_until_full() {
+        let mut c = small_cache(1);
+        let p = PartitionId(0);
+        for addr in 0..64u64 {
+            let out = c.access(p, addr, AccessMeta::default());
+            assert_eq!(out, AccessOutcome::Miss { evicted: None });
+        }
+        let out = c.access(p, 1000, AccessMeta::default());
+        assert!(out.eviction().is_some(), "full cache must evict");
+        assert_eq!(c.array().occupied(), 64);
+    }
+
+    #[test]
+    fn actual_sizes_track_occupancy() {
+        let mut c = small_cache(2);
+        for addr in 0..32u64 {
+            c.access(PartitionId(0), addr, AccessMeta::default());
+        }
+        for addr in 100..116u64 {
+            c.access(PartitionId(1), addr, AccessMeta::default());
+        }
+        assert_eq!(c.state().actual[0], 32);
+        assert_eq!(c.state().actual[1], 16);
+        assert_eq!(
+            c.state().actual.iter().sum::<usize>(),
+            c.array().occupied()
+        );
+    }
+
+    #[test]
+    fn unpartitioned_lru_evicts_oldest_uniform_candidates() {
+        // With max-futility eviction on a full candidate list of the
+        // whole cache (R == slots), the engine behaves as exact LRU.
+        let mut c = PartitionedCache::new(
+            Box::new(RandomCandidates::new(4, 4, 2)),
+            crate::naive_lru(),
+            crate::evict_max_futility(),
+            1,
+        );
+        let p = PartitionId(0);
+        for addr in 0..4u64 {
+            c.access(p, addr, AccessMeta::default());
+        }
+        let out = c.access(p, 99, AccessMeta::default());
+        assert_eq!(out.eviction().unwrap().addr, 0, "oldest line evicted");
+        assert!((out.eviction().unwrap().futility - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_associative_path_evicts_most_futile() {
+        let mut c = PartitionedCache::new(
+            Box::new(FullyAssociative::new(4)),
+            crate::naive_lru(),
+            crate::evict_max_futility(),
+            1,
+        );
+        let p = PartitionId(0);
+        for addr in 0..4u64 {
+            c.access(p, addr, AccessMeta::default());
+        }
+        // Touch line 0 so line 1 becomes oldest.
+        c.access(p, 0, AccessMeta::default());
+        let out = c.access(p, 50, AccessMeta::default());
+        assert_eq!(out.eviction().unwrap().addr, 1);
+    }
+
+    #[test]
+    fn set_associative_composition_smoke() {
+        let mut c = PartitionedCache::new(
+            Box::new(SetAssociative::new(8, 4, LineHash::new(1))),
+            crate::naive_lru(),
+            crate::evict_max_futility(),
+            2,
+        );
+        for i in 0..1000u64 {
+            let p = PartitionId((i % 2) as u16);
+            // Working set of 20 lines fits in the 32-line cache, so the
+            // steady state must produce hits.
+            c.access(p, i % 20, AccessMeta::default());
+        }
+        assert_eq!(c.array().occupied(), 20);
+        assert!(c.stats().total_hits() > 0);
+    }
+
+    #[test]
+    fn set_targets_validates_and_applies() {
+        let mut c = small_cache(2);
+        c.set_targets(&[48, 16]);
+        assert_eq!(c.state().targets[0], 48);
+        assert_eq!(c.state().targets[1], 16);
+    }
+
+    #[test]
+    fn eviction_futility_recorded_in_stats() {
+        let mut c = small_cache(1);
+        let p = PartitionId(0);
+        for addr in 0..200u64 {
+            c.access(p, addr, AccessMeta::default());
+        }
+        let stats = c.stats().partition(p);
+        assert_eq!(stats.evictions, 200 - 64);
+        assert!(stats.aef() > 0.5, "LRU + R=8 should beat random eviction");
+    }
+}

@@ -1,0 +1,178 @@
+//! Hash functions for cache indexing.
+//!
+//! Section III-B of the paper notes that good hash indexing "spreads out
+//! accesses" and is a precondition for the uniformity assumption of the
+//! analytical framework; the evaluated system uses "an XOR-based
+//! indexing" and cites H3 hashing for set-associative arrays.
+//!
+//! [`LineHash`] is the strong mixer used by default (a seeded
+//! splitmix64-style finalizer, statistically indistinguishable from a
+//! random function for this purpose); [`H3Hash`] is a faithful H3
+//! universal hash (one random row per input bit, output = XOR of selected
+//! rows); [`XorFold`] is the cheap XOR-folding index traditionally used
+//! in hardware.
+
+/// A 64-bit → 64-bit hash function suitable for cache indexing.
+pub trait IndexHash: Send {
+    /// Hash a line address into a 64-bit value; callers reduce it to a
+    /// set index with a modulo or bit-mask.
+    fn hash(&self, addr: u64) -> u64;
+}
+
+/// Seeded splitmix64 finalizer: the default "good random hash" of the
+/// simulator. Distinct seeds give (practically) independent functions,
+/// which skew-associative arrays and zcaches rely on.
+#[derive(Clone, Debug)]
+pub struct LineHash {
+    seed: u64,
+}
+
+impl LineHash {
+    /// Create a hash function from a seed. Seed 0 is remapped internally
+    /// so that it still produces a non-trivial function.
+    pub fn new(seed: u64) -> Self {
+        LineHash {
+            seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF0),
+        }
+    }
+}
+
+impl IndexHash for LineHash {
+    #[inline]
+    fn hash(&self, addr: u64) -> u64 {
+        let mut z = addr.wrapping_add(self.seed);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// H3 universal hashing: `h(x) = XOR of rows[i] for each set bit i of x`.
+///
+/// This is the hash family referenced by the zcache paper for providing
+/// uniformly distributed replacement candidates.
+#[derive(Clone, Debug)]
+pub struct H3Hash {
+    rows: [u64; 64],
+}
+
+impl H3Hash {
+    /// Build an H3 function whose 64 rows are derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut rows = [0u64; 64];
+        let base = LineHash::new(seed);
+        for (i, row) in rows.iter_mut().enumerate() {
+            *row = base.hash(i as u64 + 1);
+        }
+        H3Hash { rows }
+    }
+}
+
+impl IndexHash for H3Hash {
+    #[inline]
+    fn hash(&self, addr: u64) -> u64 {
+        let mut acc = 0u64;
+        let mut x = addr;
+        let mut i = 0;
+        while x != 0 {
+            if x & 1 == 1 {
+                acc ^= self.rows[i];
+            }
+            x >>= 1;
+            i += 1;
+        }
+        acc
+    }
+}
+
+/// XOR-folding: fold the address into 16-bit chunks and XOR them
+/// together. Cheap, hardware-friendly, but weaker than [`LineHash`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct XorFold;
+
+impl IndexHash for XorFold {
+    #[inline]
+    fn hash(&self, addr: u64) -> u64 {
+        let a = addr & 0xFFFF;
+        let b = (addr >> 16) & 0xFFFF;
+        let c = (addr >> 32) & 0xFFFF;
+        let d = (addr >> 48) & 0xFFFF;
+        a ^ b ^ c ^ d
+    }
+}
+
+/// The identity "hash": set index is the low address bits. This is the
+/// un-hashed indexing of a conventional cache, kept for the
+/// direct-mapped/conflict-miss experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModuloIndex;
+
+impl IndexHash for ModuloIndex {
+    #[inline]
+    fn hash(&self, addr: u64) -> u64 {
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chi-square-ish sanity check: hashing sequential addresses into 64
+    /// buckets should give a roughly uniform distribution.
+    fn bucket_spread<H: IndexHash>(h: &H, n: u64, buckets: usize) -> (usize, usize) {
+        let mut counts = vec![0usize; buckets];
+        for a in 0..n {
+            counts[(h.hash(a) % buckets as u64) as usize] += 1;
+        }
+        (
+            *counts.iter().min().unwrap(),
+            *counts.iter().max().unwrap(),
+        )
+    }
+
+    #[test]
+    fn line_hash_spreads_sequential_addresses() {
+        let h = LineHash::new(42);
+        let (min, max) = bucket_spread(&h, 64 * 1000, 64);
+        // Expected 1000 per bucket; allow generous slack.
+        assert!(min > 800 && max < 1200, "min={min} max={max}");
+    }
+
+    #[test]
+    fn h3_spreads_sequential_addresses() {
+        let h = H3Hash::new(7);
+        let (min, max) = bucket_spread(&h, 64 * 1000, 64);
+        assert!(min > 800 && max < 1200, "min={min} max={max}");
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_functions() {
+        let h1 = LineHash::new(1);
+        let h2 = LineHash::new(2);
+        let same = (0..1000).filter(|&a| h1.hash(a) == h2.hash(a)).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn h3_is_linear_in_xor() {
+        // H3 is XOR-linear: h(a ^ b) == h(a) ^ h(b) for h(0) == 0.
+        let h = H3Hash::new(3);
+        assert_eq!(h.hash(0), 0);
+        for (a, b) in [(1u64, 2u64), (0xFF, 0xF0F0), (12345, 987654321)] {
+            assert_eq!(h.hash(a ^ b), h.hash(a) ^ h.hash(b));
+        }
+    }
+
+    #[test]
+    fn xor_fold_is_deterministic_and_bounded() {
+        let h = XorFold;
+        assert_eq!(h.hash(0x0001_0002_0003_0004), 1 ^ 2 ^ 3 ^ 4);
+        assert!(h.hash(u64::MAX) <= 0xFFFF);
+    }
+
+    #[test]
+    fn modulo_index_is_identity() {
+        assert_eq!(ModuloIndex.hash(12345), 12345);
+    }
+}

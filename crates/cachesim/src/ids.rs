@@ -1,0 +1,92 @@
+//! Core identifier and metadata types shared across the cache model.
+
+/// Identifies one partition (one "pool" of lines) within a shared cache.
+///
+/// Partitions `0..N` are the application partitions configured on the
+/// [`PartitionedCache`](crate::PartitionedCache); schemes may request
+/// additional internal pools (e.g. Vantage's unmanaged region), which are
+/// numbered `N..N+extra`.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct PartitionId(pub u16);
+
+impl PartitionId {
+    /// The partition index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies a physical line slot within a cache array.
+pub type SlotId = u32;
+
+/// Sentinel "this line is never referenced again" next-use time, used by
+/// the OPT (Belady) futility ranking.
+pub const NO_NEXT_USE: u64 = u64::MAX;
+
+/// The occupant of a cache slot: a line address plus its partition tag.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Occupant {
+    /// Line (block) address. The simulator works at line granularity, so
+    /// this is `byte_address / line_size`.
+    pub addr: u64,
+    /// Which partition the line belongs to.
+    pub part: PartitionId,
+}
+
+/// Per-access metadata handed to the futility ranking.
+///
+/// `next_use` carries the index of the next access to the same address in
+/// the same trace (or [`NO_NEXT_USE`]); it is produced by
+/// [`Trace::annotate_next_use`](crate::trace::Trace::annotate_next_use)
+/// and is only consumed by the OPT ranking — practical rankings ignore it.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct AccessMeta {
+    /// Next reference time of this address, or [`NO_NEXT_USE`].
+    pub next_use: u64,
+}
+
+impl Default for AccessMeta {
+    fn default() -> Self {
+        AccessMeta {
+            next_use: NO_NEXT_USE,
+        }
+    }
+}
+
+impl AccessMeta {
+    /// Metadata carrying a known next-use time (for OPT rankings).
+    pub fn with_next_use(next_use: u64) -> Self {
+        AccessMeta { next_use }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_id_display_and_index() {
+        let p = PartitionId(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.to_string(), "P7");
+    }
+
+    #[test]
+    fn access_meta_default_has_no_next_use() {
+        assert_eq!(AccessMeta::default().next_use, NO_NEXT_USE);
+        assert_eq!(AccessMeta::with_next_use(42).next_use, 42);
+    }
+
+    #[test]
+    fn partition_ids_order_by_raw_value() {
+        assert!(PartitionId(1) < PartitionId(2));
+        assert_eq!(PartitionId(3), PartitionId(3));
+    }
+}

@@ -1,0 +1,398 @@
+//! An order-statistic treap: a balanced search tree with subtree-size
+//! augmentation, giving `O(log n)` insert, remove, rank and select.
+//!
+//! Exact futility is an *order-statistic* problem (the paper defines a
+//! line's futility as its rank normalized to `[0,1]`), so one structure
+//! backs the exact LRU, LFU and OPT rankings as well as the "true
+//! futility" measurement hooks: keys are `(ordering value, line address)`
+//! pairs, ranks are counts of strictly smaller keys.
+//!
+//! The implementation is an arena-backed treap with deterministic
+//! priorities drawn from an internal xorshift stream, so simulations are
+//! reproducible.
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<K> {
+    key: K,
+    prio: u64,
+    left: u32,
+    right: u32,
+    size: u32,
+}
+
+/// Order-statistic treap over unique keys.
+///
+/// # Example
+///
+/// ```
+/// use cachesim::ostree::OsTreap;
+/// let mut t = OsTreap::new(7);
+/// t.insert((5, 0));
+/// t.insert((1, 0));
+/// t.insert((9, 0));
+/// assert_eq!(t.rank(&(5, 0)), 1); // one key smaller than (5,0)
+/// assert_eq!(*t.select(2).unwrap(), (9, 0));
+/// assert!(t.remove(&(1, 0)));
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OsTreap<K> {
+    nodes: Vec<Node<K>>,
+    free: Vec<u32>,
+    root: u32,
+    rng: u64,
+}
+
+impl<K: Ord + Clone> OsTreap<K> {
+    /// Create an empty treap; `seed` drives the deterministic priority
+    /// stream (any value works, including 0).
+    pub fn new(seed: u64) -> Self {
+        OsTreap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            rng: seed | 1,
+        }
+    }
+
+    /// Number of keys currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.subtree_size(self.root) as usize
+    }
+
+    /// Whether the treap holds no keys.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    #[inline]
+    fn subtree_size(&self, n: u32) -> u32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].size
+        }
+    }
+
+    #[inline]
+    fn next_prio(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn alloc(&mut self, key: K) -> u32 {
+        let prio = self.next_prio();
+        let node = Node {
+            key,
+            prio,
+            left: NIL,
+            right: NIL,
+            size: 1,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn pull(&mut self, n: u32) {
+        let (l, r) = {
+            let nd = &self.nodes[n as usize];
+            (nd.left, nd.right)
+        };
+        let size = 1 + self.subtree_size(l) + self.subtree_size(r);
+        self.nodes[n as usize].size = size;
+    }
+
+    /// Split into (keys < key, keys >= key).
+    fn split(&mut self, t: u32, key: &K) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[t as usize].key < *key {
+            let right = self.nodes[t as usize].right;
+            let (a, b) = self.split(right, key);
+            self.nodes[t as usize].right = a;
+            self.pull(t);
+            (t, b)
+        } else {
+            let left = self.nodes[t as usize].left;
+            let (a, b) = self.split(left, key);
+            self.nodes[t as usize].left = b;
+            self.pull(t);
+            (a, t)
+        }
+    }
+
+    /// Split into (keys <= key, keys > key).
+    fn split_le(&mut self, t: u32, key: &K) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[t as usize].key <= *key {
+            let right = self.nodes[t as usize].right;
+            let (a, b) = self.split_le(right, key);
+            self.nodes[t as usize].right = a;
+            self.pull(t);
+            (t, b)
+        } else {
+            let left = self.nodes[t as usize].left;
+            let (a, b) = self.split_le(left, key);
+            self.nodes[t as usize].left = b;
+            self.pull(t);
+            (a, t)
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio > self.nodes[b as usize].prio {
+            let ar = self.nodes[a as usize].right;
+            let m = self.merge(ar, b);
+            self.nodes[a as usize].right = m;
+            self.pull(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let m = self.merge(a, bl);
+            self.nodes[b as usize].left = m;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Insert a key. Returns `false` (and leaves the treap unchanged) if
+    /// the key is already present.
+    pub fn insert(&mut self, key: K) -> bool {
+        if self.contains(&key) {
+            return false;
+        }
+        let n = self.alloc(key);
+        let key_ref = self.nodes[n as usize].key.clone();
+        let (a, b) = self.split(self.root, &key_ref);
+        let ab = self.merge(a, n);
+        self.root = self.merge(ab, b);
+        true
+    }
+
+    /// Remove a key. Returns `true` if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let (a, bc) = self.split(self.root, key);
+        let (b, c) = self.split_le(bc, key);
+        let removed = b != NIL;
+        if removed {
+            debug_assert_eq!(self.nodes[b as usize].size, 1);
+            self.free.push(b);
+        }
+        self.root = self.merge(a, c);
+        removed
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        let mut t = self.root;
+        while t != NIL {
+            let nd = &self.nodes[t as usize];
+            match key.cmp(&nd.key) {
+                std::cmp::Ordering::Less => t = nd.left,
+                std::cmp::Ordering::Greater => t = nd.right,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Number of stored keys strictly smaller than `key` (the key itself
+    /// need not be present).
+    pub fn rank(&self, key: &K) -> usize {
+        let mut t = self.root;
+        let mut acc = 0usize;
+        while t != NIL {
+            let nd = &self.nodes[t as usize];
+            if nd.key < *key {
+                acc += 1 + self.subtree_size(nd.left) as usize;
+                t = nd.right;
+            } else {
+                t = nd.left;
+            }
+        }
+        acc
+    }
+
+    /// The key with exactly `rank` smaller keys (0-based), or `None` if
+    /// out of range.
+    pub fn select(&self, rank: usize) -> Option<&K> {
+        if rank >= self.len() {
+            return None;
+        }
+        let mut t = self.root;
+        let mut rank = rank as u32;
+        loop {
+            let nd = &self.nodes[t as usize];
+            let ls = self.subtree_size(nd.left);
+            if rank < ls {
+                t = nd.left;
+            } else if rank == ls {
+                return Some(&nd.key);
+            } else {
+                rank -= ls + 1;
+                t = nd.right;
+            }
+        }
+    }
+
+    /// Smallest key, if any.
+    pub fn min(&self) -> Option<&K> {
+        self.select(0)
+    }
+
+    /// Largest key, if any.
+    pub fn max(&self) -> Option<&K> {
+        self.len().checked_sub(1).and_then(|r| self.select(r))
+    }
+
+    /// Remove all keys.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+    }
+}
+
+impl<K: Ord + Clone> Default for OsTreap<K> {
+    fn default() -> Self {
+        OsTreap::new(0x5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_rank_select_roundtrip() {
+        let mut t = OsTreap::new(1);
+        for k in [50u64, 20, 80, 10, 30, 70, 90] {
+            assert!(t.insert((k, 0u64)));
+        }
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.rank(&(10, 0)), 0);
+        assert_eq!(t.rank(&(50, 0)), 3);
+        assert_eq!(t.rank(&(95, 0)), 7);
+        assert_eq!(*t.select(0).unwrap(), (10, 0));
+        assert_eq!(*t.select(6).unwrap(), (90, 0));
+        assert!(t.select(7).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = OsTreap::new(2);
+        assert!(t.insert((1, 1)));
+        assert!(!t.insert((1, 1)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let mut t: OsTreap<(u64, u64)> = OsTreap::new(3);
+        t.insert((5, 5));
+        assert!(!t.remove(&(6, 6)));
+        assert!(t.remove(&(5, 5)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut t = OsTreap::new(4);
+        assert!(t.min().is_none());
+        for k in [(3u64, 0u64), (1, 0), (2, 0)] {
+            t.insert(k);
+        }
+        assert_eq!(*t.min().unwrap(), (1, 0));
+        assert_eq!(*t.max().unwrap(), (3, 0));
+        t.remove(&(3, 0));
+        assert_eq!(*t.max().unwrap(), (2, 0));
+    }
+
+    #[test]
+    fn arena_reuses_freed_nodes() {
+        let mut t = OsTreap::new(5);
+        for i in 0..100u64 {
+            t.insert((i, 0u64));
+        }
+        for i in 0..100u64 {
+            t.remove(&(i, 0));
+        }
+        let cap = t.nodes.len();
+        for i in 100..200u64 {
+            t.insert((i, 0));
+        }
+        assert_eq!(t.nodes.len(), cap, "freed slots should be reused");
+    }
+
+    /// Differential test against a sorted Vec reference model.
+    #[test]
+    fn matches_reference_model_under_random_ops() {
+        let mut t = OsTreap::new(6);
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut x = 0x1234_5678u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..5000 {
+            let k = (rng() % 500, 0u64);
+            match rng() % 3 {
+                0 => {
+                    let inserted = t.insert(k);
+                    let model_has = model.binary_search(&k).is_ok();
+                    assert_eq!(inserted, !model_has);
+                    if inserted {
+                        let pos = model.binary_search(&k).unwrap_err();
+                        model.insert(pos, k);
+                    }
+                }
+                1 => {
+                    let removed = t.remove(&k);
+                    match model.binary_search(&k) {
+                        Ok(pos) => {
+                            assert!(removed);
+                            model.remove(pos);
+                        }
+                        Err(_) => assert!(!removed),
+                    }
+                }
+                _ => {
+                    let expect = match model.binary_search(&k) {
+                        Ok(p) | Err(p) => p,
+                    };
+                    assert_eq!(t.rank(&k), expect);
+                }
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        for (i, k) in model.iter().enumerate() {
+            assert_eq!(t.select(i), Some(k));
+        }
+    }
+}

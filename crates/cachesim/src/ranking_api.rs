@@ -1,0 +1,231 @@
+//! The futility-ranking interface (Section III-A).
+//!
+//! A futility ranking "maintains a strict total order of the uselessness
+//! of cache lines within each partition". A line ranked `r`-th in a
+//! partition of `M` lines has futility `f = r / M ∈ (0, 1]`; the line
+//! with `f = 1` is the most useless one and is what a fully-associative
+//! cache would evict.
+//!
+//! Concrete rankings (exact LRU, coarse-grain timestamp LRU, LFU, OPT,
+//! Random) live in the `ranking` crate; this module only defines the
+//! trait plus a minimal exact-LRU used by doc examples and smoke tests.
+
+use crate::ids::{AccessMeta, PartitionId};
+use crate::ostree::OsTreap;
+use crate::fxmap::FxHashMap;
+
+/// Per-partition futility bookkeeping driven by the simulation engine.
+///
+/// All methods take the *pool* the line belongs to; pools `0..N` are the
+/// application partitions and higher pools are scheme-internal (e.g.
+/// Vantage's unmanaged region).
+pub trait FutilityRanking: Send {
+    /// Short identifier, e.g. `"lru"`, `"opt"`, `"coarse-lru"`.
+    fn name(&self) -> &'static str;
+
+    /// (Re)initialize for `pools` pools, dropping all state.
+    fn reset(&mut self, pools: usize);
+
+    /// A new line `addr` was inserted into `part` at engine time `time`.
+    fn on_insert(&mut self, part: PartitionId, addr: u64, time: u64, meta: AccessMeta);
+
+    /// Line `addr` in `part` was hit at engine time `time`.
+    fn on_hit(&mut self, part: PartitionId, addr: u64, time: u64, meta: AccessMeta);
+
+    /// Line `addr` was evicted from `part`.
+    fn on_evict(&mut self, part: PartitionId, addr: u64);
+
+    /// Line `addr` migrated from pool `from` to pool `to` without leaving
+    /// the cache (used by demotion-based schemes such as Vantage).
+    fn on_retag(&mut self, from: PartitionId, to: PartitionId, addr: u64);
+
+    /// The futility of `addr` within `part`, in `[0, 1]`, as seen by the
+    /// replacement scheme. For approximate rankings (coarse-grain
+    /// timestamps) this is the approximation the hardware would compute.
+    fn futility(&self, part: PartitionId, addr: u64) -> f64;
+
+    /// The *exact* normalized rank of `addr` within `part`, used for
+    /// measuring associativity distributions. Defaults to
+    /// [`futility`](Self::futility); approximate rankings may override it
+    /// with a precise shadow rank.
+    fn true_futility(&self, part: PartitionId, addr: u64) -> f64 {
+        self.futility(part, addr)
+    }
+
+    /// The globally most-futile line of `part`, if the ranking can answer
+    /// that (needed only by the idealized fully-associative scheme).
+    fn max_futility_line(&self, part: PartitionId) -> Option<u64>;
+
+    /// Number of lines currently tracked in `part`.
+    fn pool_len(&self, part: PartitionId) -> usize;
+}
+
+/// Minimal exact-LRU ranking built directly on [`OsTreap`]; used by doc
+/// examples and as a reference model in tests. The `ranking` crate's
+/// `ExactLru` is the full-featured equivalent.
+#[derive(Debug, Default)]
+pub struct NaiveLru {
+    pools: Vec<Pool>,
+}
+
+#[derive(Debug)]
+struct Pool {
+    by_time: OsTreap<(u64, u64)>,
+    last: FxHashMap<u64, u64>,
+}
+
+impl NaiveLru {
+    /// Create an empty ranking; pools are sized on
+    /// [`reset`](FutilityRanking::reset).
+    pub fn new() -> Self {
+        NaiveLru::default()
+    }
+
+    fn pool_mut(&mut self, part: PartitionId) -> &mut Pool {
+        let idx = part.index();
+        if idx >= self.pools.len() {
+            self.pools.resize_with(idx + 1, Pool::default);
+        }
+        &mut self.pools[idx]
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool {
+            by_time: OsTreap::new(0xACE5),
+            last: FxHashMap::default(),
+        }
+    }
+}
+
+impl FutilityRanking for NaiveLru {
+    fn name(&self) -> &'static str {
+        "naive-lru"
+    }
+
+    fn reset(&mut self, pools: usize) {
+        self.pools.clear();
+        self.pools.resize_with(pools, Pool::default);
+    }
+
+    fn on_insert(&mut self, part: PartitionId, addr: u64, time: u64, _meta: AccessMeta) {
+        let pool = self.pool_mut(part);
+        pool.by_time.insert((time, addr));
+        pool.last.insert(addr, time);
+    }
+
+    fn on_hit(&mut self, part: PartitionId, addr: u64, time: u64, _meta: AccessMeta) {
+        let pool = self.pool_mut(part);
+        if let Some(old) = pool.last.insert(addr, time) {
+            pool.by_time.remove(&(old, addr));
+        }
+        pool.by_time.insert((time, addr));
+    }
+
+    fn on_evict(&mut self, part: PartitionId, addr: u64) {
+        let pool = self.pool_mut(part);
+        if let Some(old) = pool.last.remove(&addr) {
+            pool.by_time.remove(&(old, addr));
+        }
+    }
+
+    fn on_retag(&mut self, from: PartitionId, to: PartitionId, addr: u64) {
+        let time = {
+            let pool = self.pool_mut(from);
+            match pool.last.remove(&addr) {
+                Some(t) => {
+                    pool.by_time.remove(&(t, addr));
+                    t
+                }
+                None => return,
+            }
+        };
+        let pool = self.pool_mut(to);
+        pool.by_time.insert((time, addr));
+        pool.last.insert(addr, time);
+    }
+
+    fn futility(&self, part: PartitionId, addr: u64) -> f64 {
+        let pool = match self.pools.get(part.index()) {
+            Some(p) => p,
+            None => return 0.0,
+        };
+        let time = match pool.last.get(&addr) {
+            Some(&t) => t,
+            None => return 0.0,
+        };
+        let m = pool.by_time.len();
+        if m == 0 {
+            return 0.0;
+        }
+        // rank = number of lines touched longer ago than this one.
+        let rank = pool.by_time.rank(&(time, addr));
+        (m - rank) as f64 / m as f64
+    }
+
+    fn max_futility_line(&self, part: PartitionId) -> Option<u64> {
+        self.pools
+            .get(part.index())
+            .and_then(|p| p.by_time.min())
+            .map(|&(_, addr)| addr)
+    }
+
+    fn pool_len(&self, part: PartitionId) -> usize {
+        self.pools
+            .get(part.index())
+            .map_or(0, |p| p.by_time.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: PartitionId = PartitionId(0);
+
+    #[test]
+    fn oldest_line_has_futility_one() {
+        let mut r = NaiveLru::new();
+        r.reset(1);
+        r.on_insert(P, 10, 0, AccessMeta::default());
+        r.on_insert(P, 11, 1, AccessMeta::default());
+        r.on_insert(P, 12, 2, AccessMeta::default());
+        assert!((r.futility(P, 10) - 1.0).abs() < 1e-12);
+        assert!((r.futility(P, 12) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.max_futility_line(P), Some(10));
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut r = NaiveLru::new();
+        r.reset(1);
+        r.on_insert(P, 10, 0, AccessMeta::default());
+        r.on_insert(P, 11, 1, AccessMeta::default());
+        r.on_hit(P, 10, 2, AccessMeta::default());
+        assert_eq!(r.max_futility_line(P), Some(11));
+        assert!((r.futility(P, 11) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evict_removes_line() {
+        let mut r = NaiveLru::new();
+        r.reset(1);
+        r.on_insert(P, 10, 0, AccessMeta::default());
+        r.on_evict(P, 10);
+        assert_eq!(r.pool_len(P), 0);
+        assert_eq!(r.futility(P, 10), 0.0);
+    }
+
+    #[test]
+    fn retag_moves_line_between_pools() {
+        let mut r = NaiveLru::new();
+        r.reset(2);
+        let q = PartitionId(1);
+        r.on_insert(P, 10, 0, AccessMeta::default());
+        r.on_retag(P, q, 10);
+        assert_eq!(r.pool_len(P), 0);
+        assert_eq!(r.pool_len(q), 1);
+        assert_eq!(r.max_futility_line(q), Some(10));
+    }
+}

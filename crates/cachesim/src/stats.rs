@@ -1,0 +1,286 @@
+//! Per-partition simulation statistics: hit/miss counters, eviction
+//! futility distributions (for associativity CDFs / AEF, Section III-C)
+//! and size-deviation sampling (Section IV-D).
+
+use crate::ids::PartitionId;
+use std::collections::HashMap;
+
+/// Number of histogram bins used for eviction-futility distributions.
+pub const FUTILITY_BINS: usize = 1000;
+
+/// Statistics for one partition.
+#[derive(Clone, Debug)]
+pub struct PartitionStats {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses (== insertions driven by this partition).
+    pub misses: u64,
+    /// Lines of this partition evicted (by any partition's miss).
+    pub evictions: u64,
+    /// Histogram of the *true* (exact-rank) futility of evicted lines,
+    /// with [`FUTILITY_BINS`] bins over `[0, 1]`.
+    pub evict_futility_hist: Vec<u64>,
+    /// Sum of evicted-line futilities; `sum / evictions` is the AEF.
+    pub evict_futility_sum: f64,
+    /// Histogram of signed size deviation (actual − target, in lines),
+    /// sampled at every eviction in the cache. Only populated when
+    /// [`CacheStats::deviation_histogram`] is enabled (it costs a hash
+    /// map update per partition per eviction); the scalar MAD/occupancy
+    /// accumulators below are always maintained.
+    pub size_dev_hist: HashMap<i64, u64>,
+    /// Number of size-deviation samples taken.
+    pub size_dev_samples: u64,
+    /// Running sum of |deviation| for the MAD.
+    pub size_dev_abs_sum: f64,
+    /// Running sum of actual size at each sample (for average occupancy).
+    pub occupancy_sum: u64,
+}
+
+impl Default for PartitionStats {
+    fn default() -> Self {
+        PartitionStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            evict_futility_hist: vec![0; FUTILITY_BINS],
+            evict_futility_sum: 0.0,
+            size_dev_hist: HashMap::new(),
+            size_dev_samples: 0,
+            size_dev_abs_sum: 0.0,
+            occupancy_sum: 0,
+        }
+    }
+}
+
+impl PartitionStats {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 for an untouched partition.
+    pub fn miss_ratio(&self) -> f64 {
+        let acc = self.accesses();
+        if acc == 0 {
+            0.0
+        } else {
+            self.misses as f64 / acc as f64
+        }
+    }
+
+    /// Average eviction futility (AEF): the paper's headline
+    /// associativity metric. Higher is better; 1.0 is fully associative,
+    /// 0.5 is the worst case (futility-blind eviction).
+    pub fn aef(&self) -> f64 {
+        if self.evictions == 0 {
+            f64::NAN
+        } else {
+            self.evict_futility_sum / self.evictions as f64
+        }
+    }
+
+    /// Mean absolute size deviation from target, in lines.
+    pub fn size_mad(&self) -> f64 {
+        if self.size_dev_samples == 0 {
+            f64::NAN
+        } else {
+            self.size_dev_abs_sum / self.size_dev_samples as f64
+        }
+    }
+
+    /// Average occupancy (lines) over all deviation samples.
+    pub fn avg_occupancy(&self) -> f64 {
+        if self.size_dev_samples == 0 {
+            f64::NAN
+        } else {
+            self.occupancy_sum as f64 / self.size_dev_samples as f64
+        }
+    }
+
+    /// The associativity CDF: cumulative probability that an evicted
+    /// line's futility is ≤ x, evaluated at each bin edge. Returns
+    /// `(x, cdf(x))` pairs.
+    pub fn associativity_cdf(&self) -> Vec<(f64, f64)> {
+        let total: u64 = self.evict_futility_hist.iter().sum();
+        let mut out = Vec::with_capacity(FUTILITY_BINS);
+        let mut acc = 0u64;
+        for (i, &c) in self.evict_futility_hist.iter().enumerate() {
+            acc += c;
+            let x = (i + 1) as f64 / FUTILITY_BINS as f64;
+            let y = if total == 0 {
+                0.0
+            } else {
+                acc as f64 / total as f64
+            };
+            out.push((x, y));
+        }
+        out
+    }
+
+    /// The size-deviation CDF as sorted `(deviation, cum_prob)` pairs.
+    pub fn size_deviation_cdf(&self) -> Vec<(i64, f64)> {
+        let mut keys: Vec<i64> = self.size_dev_hist.keys().copied().collect();
+        keys.sort_unstable();
+        let total: u64 = self.size_dev_hist.values().sum();
+        let mut acc = 0u64;
+        keys.into_iter()
+            .map(|k| {
+                acc += self.size_dev_hist[&k];
+                (k, acc as f64 / total.max(1) as f64)
+            })
+            .collect()
+    }
+}
+
+/// Statistics for a whole [`PartitionedCache`](crate::PartitionedCache).
+#[derive(Clone, Debug, Default)]
+pub struct CacheStats {
+    parts: Vec<PartitionStats>,
+    /// Whether to sample per-partition size deviation at every eviction.
+    /// On by default; turn off for pure-throughput benchmarking.
+    pub sample_deviation: bool,
+    /// Whether deviation samples also populate the full per-partition
+    /// histogram (needed for deviation CDFs, e.g. Figure 5). Off by
+    /// default — it costs a hash-map update per partition per eviction.
+    pub deviation_histogram: bool,
+}
+
+impl CacheStats {
+    /// Stats for `pools` pools.
+    pub fn new(pools: usize) -> Self {
+        CacheStats {
+            parts: (0..pools).map(|_| PartitionStats::default()).collect(),
+            sample_deviation: true,
+            deviation_histogram: false,
+        }
+    }
+
+    /// Per-partition stats, indexable by `PartitionId::index()`.
+    pub fn partition(&self, part: PartitionId) -> &PartitionStats {
+        &self.parts[part.index()]
+    }
+
+    /// All per-partition stats.
+    pub fn partitions(&self) -> &[PartitionStats] {
+        &self.parts
+    }
+
+    /// Record a hit for `part`.
+    pub(crate) fn record_hit(&mut self, part: PartitionId) {
+        self.parts[part.index()].hits += 1;
+    }
+
+    /// Record a miss for `part`.
+    pub(crate) fn record_miss(&mut self, part: PartitionId) {
+        self.parts[part.index()].misses += 1;
+    }
+
+    /// Record the eviction of a line of `part` with true futility `f`.
+    pub(crate) fn record_eviction(&mut self, part: PartitionId, futility: f64) {
+        let p = &mut self.parts[part.index()];
+        p.evictions += 1;
+        p.evict_futility_sum += futility;
+        let bin = ((futility * FUTILITY_BINS as f64) as usize).min(FUTILITY_BINS - 1);
+        p.evict_futility_hist[bin] += 1;
+    }
+
+    /// Sample size deviations for every pool.
+    pub(crate) fn sample_deviations(&mut self, actual: &[usize], targets: &[usize]) {
+        if !self.sample_deviation {
+            return;
+        }
+        let with_hist = self.deviation_histogram;
+        for i in 0..self.parts.len().min(actual.len()) {
+            let dev = actual[i] as i64 - targets[i] as i64;
+            let p = &mut self.parts[i];
+            if with_hist {
+                *p.size_dev_hist.entry(dev).or_insert(0) += 1;
+            }
+            p.size_dev_samples += 1;
+            p.size_dev_abs_sum += dev.unsigned_abs() as f64;
+            p.occupancy_sum += actual[i] as u64;
+        }
+    }
+
+    /// Total misses across all partitions.
+    pub fn total_misses(&self) -> u64 {
+        self.parts.iter().map(|p| p.misses).sum()
+    }
+
+    /// Total hits across all partitions.
+    pub fn total_hits(&self) -> u64 {
+        self.parts.iter().map(|p| p.hits).sum()
+    }
+
+    /// Reset all counters, keeping the pool count. Useful after warmup.
+    pub fn reset(&mut self) {
+        let n = self.parts.len();
+        let sample = self.sample_deviation;
+        let hist = self.deviation_histogram;
+        *self = CacheStats::new(n);
+        self.sample_deviation = sample;
+        self.deviation_histogram = hist;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aef_is_mean_of_evicted_futility() {
+        let mut s = CacheStats::new(1);
+        s.record_eviction(PartitionId(0), 0.5);
+        s.record_eviction(PartitionId(0), 1.0);
+        let p = s.partition(PartitionId(0));
+        assert!((p.aef() - 0.75).abs() < 1e-12);
+        assert_eq!(p.evictions, 2);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let mut s = CacheStats::new(1);
+        for f in [0.1, 0.2, 0.9, 0.95, 1.0] {
+            s.record_eviction(PartitionId(0), f);
+        }
+        let cdf = s.partition(PartitionId(0)).associativity_cdf();
+        let mut prev = 0.0;
+        for &(_, y) in &cdf {
+            assert!(y >= prev);
+            prev = y;
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_sampling_tracks_mad() {
+        let mut s = CacheStats::new(2);
+        s.deviation_histogram = true;
+        s.sample_deviations(&[12, 8], &[10, 10]);
+        s.sample_deviations(&[10, 10], &[10, 10]);
+        let p0 = s.partition(PartitionId(0));
+        assert_eq!(p0.size_dev_samples, 2);
+        assert!((p0.size_mad() - 1.0).abs() < 1e-12);
+        assert!((p0.avg_occupancy() - 11.0).abs() < 1e-12);
+        let cdf = s.partition(PartitionId(1)).size_deviation_cdf();
+        assert_eq!(cdf, vec![(-2, 0.5), (0, 1.0)]);
+    }
+
+    #[test]
+    fn miss_ratio_and_reset() {
+        let mut s = CacheStats::new(1);
+        s.record_hit(PartitionId(0));
+        s.record_miss(PartitionId(0));
+        assert!((s.partition(PartitionId(0)).miss_ratio() - 0.5).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.total_misses() + s.total_hits(), 0);
+    }
+
+    #[test]
+    fn futility_one_lands_in_last_bin() {
+        let mut s = CacheStats::new(1);
+        s.record_eviction(PartitionId(0), 1.0);
+        let h = &s.partition(PartitionId(0)).evict_futility_hist;
+        assert_eq!(h[FUTILITY_BINS - 1], 1);
+    }
+}

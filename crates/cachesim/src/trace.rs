@@ -1,0 +1,150 @@
+//! Access traces and the next-use (Belady/OPT) preprocessing pass.
+//!
+//! The paper's simulator is trace-driven: traces of L2 accesses are fed
+//! into the cache model, and the OPT futility ranking requires each
+//! access to be annotated with the time of the *next* reference to the
+//! same line ("the time to their next references", Section III-A).
+
+use crate::ids::NO_NEXT_USE;
+use crate::fxmap::FxHashMap;
+
+/// One L2 access: a line address plus the number of instructions the
+/// core executed since its previous L2 access (used by the timing model).
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct Access {
+    /// Line (block) address.
+    pub addr: u64,
+    /// Instructions executed between the previous access and this one.
+    pub inst_gap: u32,
+}
+
+impl Access {
+    /// Convenience constructor.
+    pub fn new(addr: u64, inst_gap: u32) -> Self {
+        Access { addr, inst_gap }
+    }
+}
+
+/// A sequence of L2 accesses belonging to one thread.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The accesses, in program order.
+    pub accesses: Vec<Access>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Build a trace from bare addresses with a constant instruction gap.
+    pub fn from_addrs<I: IntoIterator<Item = u64>>(addrs: I, inst_gap: u32) -> Self {
+        Trace {
+            accesses: addrs
+                .into_iter()
+                .map(|addr| Access { addr, inst_gap })
+                .collect(),
+        }
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Total instructions represented by the trace.
+    pub fn instructions(&self) -> u64 {
+        self.accesses.iter().map(|a| a.inst_gap as u64).sum()
+    }
+
+    /// Number of distinct lines touched (the footprint, in lines).
+    pub fn footprint(&self) -> usize {
+        let mut seen: FxHashMap<u64, ()> = FxHashMap::with_capacity_and_hasher(self.len() / 4 + 1, Default::default());
+        for a in &self.accesses {
+            seen.insert(a.addr, ());
+        }
+        seen.len()
+    }
+
+    /// Belady preprocessing: for every access `i`, compute the index of
+    /// the next access to the same address, or
+    /// [`NO_NEXT_USE`] if the line is never
+    /// again. Runs one backward scan in `O(n)`.
+    ///
+    /// The returned vector is parallel to `self.accesses`.
+    pub fn annotate_next_use(&self) -> Vec<u64> {
+        let mut next = vec![NO_NEXT_USE; self.accesses.len()];
+        let mut last_seen: FxHashMap<u64, u64> = FxHashMap::with_capacity_and_hasher(self.len() / 4 + 1, Default::default());
+        for i in (0..self.accesses.len()).rev() {
+            let addr = self.accesses[i].addr;
+            if let Some(&j) = last_seen.get(&addr) {
+                next[i] = j;
+            }
+            last_seen.insert(addr, i as u64);
+        }
+        next
+    }
+
+    /// Iterate over `(access, next_use)` pairs, computing the annotation
+    /// up front.
+    pub fn iter_with_next_use(&self) -> impl Iterator<Item = (Access, u64)> + '_ {
+        let next = self.annotate_next_use();
+        self.accesses.iter().copied().zip(next)
+    }
+}
+
+impl FromIterator<Access> for Trace {
+    fn from_iter<T: IntoIterator<Item = Access>>(iter: T) -> Self {
+        Trace {
+            accesses: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Access> for Trace {
+    fn extend<T: IntoIterator<Item = Access>>(&mut self, iter: T) {
+        self.accesses.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_use_annotation_is_correct() {
+        let t = Trace::from_addrs([1, 2, 1, 3, 2, 1], 10);
+        let next = t.annotate_next_use();
+        assert_eq!(next, vec![2, 4, 5, NO_NEXT_USE, NO_NEXT_USE, NO_NEXT_USE]);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_lines() {
+        let t = Trace::from_addrs([5, 5, 6, 7, 6], 1);
+        assert_eq!(t.footprint(), 3);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.instructions(), 5);
+    }
+
+    #[test]
+    fn empty_trace_behaves() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert!(t.annotate_next_use().is_empty());
+        assert_eq!(t.footprint(), 0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: Trace = [Access::new(1, 2)].into_iter().collect();
+        t.extend([Access::new(3, 4)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.instructions(), 6);
+    }
+}

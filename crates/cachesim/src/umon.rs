@@ -1,0 +1,198 @@
+//! UMON — a sampled utility monitor (Qureshi & Patt's UMON-DSS), the
+//! hardware mechanism allocation policies use to obtain per-thread
+//! miss/hit curves online. One monitor shadows one thread: a small
+//! number of sampled sets keep full LRU stacks of shadow tags, and a
+//! hit at stack depth `d` increments the way-`d` hit counter — giving
+//! the marginal-utility curve UCP-style policies allocate from.
+//!
+//! The paper's evaluation uses a *static* allocation policy, but its
+//! Section II framing (allocation policy ↔ enforcement scheme) expects
+//! utility-driven allocators on top; this module provides the missing
+//! monitor so the `simqos` UCP allocator can run online.
+
+use crate::hashing::{IndexHash, LineHash};
+
+/// A sampled shadow-tag utility monitor for one thread.
+///
+/// # Example
+/// ```
+/// use cachesim::umon::Umon;
+/// let mut m = Umon::new(32, 16, 1);
+/// for round in 0..4u64 {
+///     for addr in 0..2_000u64 {
+///         m.observe(addr);
+///     }
+///     let _ = round;
+/// }
+/// let hits = m.hit_curve();
+/// assert_eq!(hits.len(), 17); // 0..=ways
+/// assert!(hits[16] >= hits[8]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Umon {
+    /// Sampled sets, each an LRU stack of shadow tags (front = MRU).
+    stacks: Vec<Vec<u64>>,
+    ways: usize,
+    /// Only addresses with `hash(addr) % sampling == 0` are observed.
+    sampling: u64,
+    hash: LineHash,
+    /// `hit_counters[d]` = hits that an LRU cache of `d+1` ways would
+    /// have captured at exactly stack depth `d`.
+    hit_counters: Vec<u64>,
+    misses: u64,
+    observed: u64,
+}
+
+impl Umon {
+    /// Create a monitor with `sets` sampled sets of `ways` shadow tags,
+    /// observing one of every `sampling` lines (1 = observe all).
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero.
+    pub fn new(sets: usize, ways: usize, sampling: u64) -> Self {
+        assert!(sets > 0 && ways > 0 && sampling > 0);
+        Umon {
+            stacks: vec![Vec::with_capacity(ways); sets],
+            ways,
+            sampling,
+            hash: LineHash::new(0x0DD5),
+            hit_counters: vec![0; ways],
+            misses: 0,
+            observed: 0,
+        }
+    }
+
+    /// Number of shadow ways (the curve's resolution).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Accesses that passed the sampling filter.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Observe one access. Returns `true` if the address was sampled.
+    pub fn observe(&mut self, addr: u64) -> bool {
+        let h = self.hash.hash(addr);
+        if h % self.sampling != 0 {
+            return false;
+        }
+        self.observed += 1;
+        let set = ((h / self.sampling) % self.stacks.len() as u64) as usize;
+        let stack = &mut self.stacks[set];
+        match stack.iter().position(|&t| t == addr) {
+            Some(depth) => {
+                self.hit_counters[depth] += 1;
+                let tag = stack.remove(depth);
+                stack.insert(0, tag);
+            }
+            None => {
+                self.misses += 1;
+                if stack.len() == self.ways {
+                    stack.pop();
+                }
+                stack.insert(0, addr);
+            }
+        }
+        true
+    }
+
+    /// Cumulative hit counts at 0, 1, …, `ways` ways (length
+    /// `ways + 1`, starting at 0). Multiply by the sampling factor to
+    /// estimate whole-cache hits.
+    pub fn hit_curve(&self) -> Vec<f64> {
+        let mut curve = Vec::with_capacity(self.ways + 1);
+        let mut acc = 0.0;
+        curve.push(0.0);
+        for &h in &self.hit_counters {
+            acc += h as f64;
+            curve.push(acc);
+        }
+        curve
+    }
+
+    /// Estimated miss ratio at each way count 0..=ways.
+    pub fn miss_ratio_curve(&self) -> Vec<f64> {
+        let total = self.observed.max(1) as f64;
+        self.hit_curve().iter().map(|h| 1.0 - h / total).collect()
+    }
+
+    /// Zero the counters (start a new measurement epoch), keeping the
+    /// shadow tags warm.
+    pub fn reset_counters(&mut self) {
+        self.hit_counters.fill(0);
+        self.misses = 0;
+        self.observed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_working_set_hits_at_few_ways() {
+        let mut m = Umon::new(16, 8, 1);
+        // 8 hot lines touched repeatedly: after warmup, every access
+        // hits at shallow stack depths.
+        for r in 0..200u64 {
+            m.observe(r % 8);
+        }
+        let curve = m.hit_curve();
+        assert!(curve[8] > 150.0, "most accesses hit: {curve:?}");
+        // The curve is monotone non-decreasing.
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn streaming_gets_no_hits() {
+        let mut m = Umon::new(16, 8, 1);
+        for addr in 0..5_000u64 {
+            m.observe(addr);
+        }
+        let curve = m.hit_curve();
+        assert_eq!(curve[8], 0.0, "a pure stream never reuses: {curve:?}");
+        assert!((m.miss_ratio_curve()[8] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stack_depth_separates_working_set_sizes() {
+        let mut m = Umon::new(1, 8, 1);
+        // Cycle over 4 lines: LRU stack hits at depth 3 exactly.
+        for r in 0..400u64 {
+            m.observe(r % 4);
+        }
+        let curve = m.hit_curve();
+        assert_eq!(curve[3], 0.0, "no hits below 4 ways");
+        assert!(curve[4] > 300.0, "all hits at 4 ways: {curve:?}");
+    }
+
+    #[test]
+    fn sampling_reduces_observations() {
+        let mut all = Umon::new(16, 8, 1);
+        let mut sampled = Umon::new(16, 8, 8);
+        for addr in 0..8_000u64 {
+            all.observe(addr);
+            sampled.observe(addr);
+        }
+        assert_eq!(all.observed(), 8_000);
+        let frac = sampled.observed() as f64 / 8_000.0;
+        assert!((frac - 1.0 / 8.0).abs() < 0.05, "sampled {frac}");
+    }
+
+    #[test]
+    fn reset_keeps_tags_warm() {
+        let mut m = Umon::new(8, 4, 1);
+        for r in 0..100u64 {
+            m.observe(r % 4);
+        }
+        m.reset_counters();
+        assert_eq!(m.observed(), 0);
+        m.observe(0);
+        // The tag was still resident: an immediate hit, no cold miss.
+        assert!((m.hit_curve().last().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

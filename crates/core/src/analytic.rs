@@ -1,0 +1,135 @@
+//! Futility Scaling with fixed (analytically derived) scaling factors —
+//! the scheme analyzed in Section IV, used for Figures 4 and 5.
+
+use crate::scaling::{solve_scaling_factors, ScalingError};
+use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, VictimDecision};
+
+/// FS with fixed per-partition scaling factors: on every eviction the
+/// candidate with the largest `α_p · futility` is evicted.
+///
+/// # Example
+/// ```
+/// use futility_core::FsAnalytic;
+/// // Two partitions with equal insertion rates; hold partition 1 at 10%
+/// // of the cache (Figure 4's 9/1 configuration).
+/// let fs = FsAnalytic::from_rates(&[0.5, 0.5], &[0.9, 0.1], 16).unwrap();
+/// assert!((fs.alphas()[0] - 1.0).abs() < 1e-6);
+/// assert!(fs.alphas()[1] > 1.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FsAnalytic {
+    alphas: Vec<f64>,
+}
+
+impl FsAnalytic {
+    /// Use the given scaling factors directly (one per partition).
+    ///
+    /// # Panics
+    /// Panics if `alphas` is empty or contains a non-positive factor.
+    pub fn with_alphas(alphas: Vec<f64>) -> Self {
+        assert!(!alphas.is_empty(), "need at least one partition");
+        assert!(
+            alphas.iter().all(|&a| a > 0.0),
+            "scaling factors must be positive"
+        );
+        FsAnalytic { alphas }
+    }
+
+    /// Derive scaling factors from insertion fractions and target size
+    /// fractions with the Section IV-B analytical model (`R` replacement
+    /// candidates).
+    ///
+    /// # Errors
+    /// Propagates [`ScalingError`] for infeasible or malformed inputs.
+    pub fn from_rates(
+        insertions: &[f64],
+        sizes: &[f64],
+        r: usize,
+    ) -> Result<Self, ScalingError> {
+        Ok(FsAnalytic {
+            alphas: solve_scaling_factors(insertions, sizes, r)?,
+        })
+    }
+
+    /// The configured scaling factors.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    #[inline]
+    fn alpha_of(&self, part: PartitionId) -> f64 {
+        self.alphas.get(part.index()).copied().unwrap_or(1.0)
+    }
+}
+
+impl PartitionScheme for FsAnalytic {
+    fn name(&self) -> &'static str {
+        "fs"
+    }
+
+    fn victim(
+        &mut self,
+        _incoming: PartitionId,
+        cands: &[Candidate],
+        _state: &PartitionState,
+    ) -> VictimDecision {
+        let mut best = 0usize;
+        let mut best_scaled = f64::NEG_INFINITY;
+        for (i, c) in cands.iter().enumerate() {
+            let scaled = c.futility * self.alpha_of(c.part);
+            if scaled > best_scaled {
+                best_scaled = scaled;
+                best = i;
+            }
+        }
+        VictimDecision::evict(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::SlotId;
+
+    fn cand(slot: SlotId, part: u16, fut: f64) -> Candidate {
+        Candidate {
+            slot,
+            addr: slot as u64,
+            part: PartitionId(part),
+            futility: fut,
+        }
+    }
+
+    #[test]
+    fn scaled_futility_prefers_scaled_partition() {
+        let mut fs = FsAnalytic::with_alphas(vec![1.0, 3.0]);
+        let state = PartitionState::new(2, 100);
+        // P1's line at futility 0.4 scales to 1.2 > P0's 1.0.
+        let cands = [cand(0, 0, 1.0), cand(1, 1, 0.4)];
+        assert_eq!(fs.victim(PartitionId(0), &cands, &state).victim, 1);
+        // But a very useful P1 line (0.2 → 0.6) survives.
+        let cands = [cand(0, 0, 1.0), cand(1, 1, 0.2)];
+        assert_eq!(fs.victim(PartitionId(0), &cands, &state).victim, 0);
+    }
+
+    #[test]
+    fn unit_alphas_degenerate_to_max_futility() {
+        let mut fs = FsAnalytic::with_alphas(vec![1.0, 1.0]);
+        let state = PartitionState::new(2, 100);
+        let cands = [cand(0, 0, 0.3), cand(1, 1, 0.8), cand(2, 0, 0.5)];
+        assert_eq!(fs.victim(PartitionId(1), &cands, &state).victim, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_alpha() {
+        let _ = FsAnalytic::with_alphas(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn from_rates_round_trips_the_solver() {
+        let fs = FsAnalytic::from_rates(&[0.5, 0.5], &[0.6, 0.4], 16).unwrap();
+        assert_eq!(fs.alphas().len(), 2);
+        assert!(fs.alphas()[1] > fs.alphas()[0]);
+    }
+}

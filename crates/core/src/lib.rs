@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! **Futility Scaling** — the primary contribution of *"Futility
+//! Scaling: High-Associativity Cache Partitioning"* (Wang & Chen,
+//! MICRO 2014).
+//!
+//! Futility Scaling (FS) controls the size of each cache partition by
+//! scaling the futility of its lines: partition `i` has a scaling factor
+//! `α_i`, and on each eviction the replacement candidate with the
+//! largest *scaled* futility `α_p · f` is evicted. Because the victim is
+//! always chosen from the full candidate list, associativity is
+//! independent of the number of partitions (Section IV-C); because
+//! raising `α_i` raises partition `i`'s eviction rate, sizes converge to
+//! their targets (Section IV-D).
+//!
+//! Two implementations are provided:
+//!
+//! * [`FsAnalytic`] — fixed scaling factors, either supplied directly or
+//!   derived from insertion rates and target sizes with the analytical
+//!   framework of Section IV-B (see [`scaling`]).
+//! * [`FsFeedback`] — the practical hardware design of Section V:
+//!   coarse futility from the ranking, per-partition saturating
+//!   shift-width registers, and the Algorithm 2 feedback loop that
+//!   doubles/halves `α_i` every `l = 16` insertions-or-evictions
+//!   depending on the partition's size error and growth tendency.
+//!
+//! # Example
+//!
+//! ```
+//! use cachesim::{PartitionedCache, PartitionId, AccessMeta};
+//! use cachesim::array::RandomCandidates;
+//! use futility_core::FsFeedback;
+//!
+//! let mut cache = PartitionedCache::new(
+//!     Box::new(RandomCandidates::new(1024, 16, 1)),
+//!     cachesim::naive_lru(),
+//!     Box::new(FsFeedback::default_config()),
+//!     2,
+//! );
+//! cache.set_targets(&[768, 256]); // a 3:1 split
+//! for i in 0..20_000u64 {
+//!     let part = PartitionId((i % 2) as u16);
+//!     let addr = (i * 7919) % 4096 + part.index() as u64 * 100_000;
+//!     cache.access(part, addr, AccessMeta::default());
+//! }
+//! let s = cache.state();
+//! assert!((s.actual[0] as f64 - 768.0).abs() < 150.0);
+//! ```
+
+mod analytic;
+mod feedback;
+pub mod scaling;
+
+pub use analytic::FsAnalytic;
+pub use feedback::{FeedbackConfig, FsFeedback};

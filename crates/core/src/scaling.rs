@@ -1,0 +1,378 @@
+//! The analytical framework of Section IV-B: closed-form scaling factors
+//! for two partitions (Equation 1), a numerical solver for N partitions,
+//! and the feasibility bound `I_i > S_i^R` shared by *all*
+//! replacement-based partitioning schemes.
+//!
+//! Model (uniformity assumption): each of the `R` replacement candidates
+//! is independently from partition `j` with probability `S_j` and has
+//! futility `U ~ Uniform[0,1]`, hence scaled futility `α_j · U`. The
+//! victim is the candidate with the largest scaled futility, so the
+//! eviction fraction of partition `i` is
+//!
+//! ```text
+//! E_i(α) = R · (S_i / α_i) · ∫₀^{α_i} F(x)^{R-1} dx,
+//! F(x)   = Σ_j S_j · min(x / α_j, 1)
+//! ```
+//!
+//! Stable partitioning requires `E_i = I_i` for all `i`. With two
+//! partitions and `α_1 = 1` this yields Equation (1):
+//!
+//! ```text
+//! α₂ = S₂ / ((I₁/S₁)^{1/(R−1)} − S₁)
+//! ```
+
+/// Error for infeasible partitioning requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalingError {
+    /// A partition's insertion rate is below its minimum possible
+    /// eviction rate `S_i^R`, so no replacement-based scheme can hold
+    /// its size (Section IV-B).
+    Infeasible {
+        /// The offending partition.
+        partition: usize,
+        /// Its insertion fraction.
+        insertion: f64,
+        /// The bound `S_i^R` it violates.
+        bound: f64,
+    },
+    /// Inputs are malformed (non-positive, or do not sum to 1).
+    BadInput(String),
+    /// The N-partition fixed-point iteration did not converge.
+    NoConvergence {
+        /// Residual `max_i |E_i − I_i|` at the iteration cap.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for ScalingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalingError::Infeasible {
+                partition,
+                insertion,
+                bound,
+            } => write!(
+                f,
+                "partition {partition} has insertion rate {insertion:.4} below the \
+                 feasibility bound S^R = {bound:.2e}; no replacement-based scheme can enforce it"
+            ),
+            ScalingError::BadInput(msg) => write!(f, "bad scaling input: {msg}"),
+            ScalingError::NoConvergence { residual } => {
+                write!(f, "scaling solver did not converge (residual {residual:.2e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScalingError {}
+
+/// Equation (1): the scaling factor `α₂` of the oversubscribed partition
+/// when `α₁ = 1`, for target fractions `s1 + s2 = 1`, insertion fraction
+/// `i1` of partition 1, and `r` replacement candidates.
+///
+/// # Errors
+/// Returns [`ScalingError::Infeasible`] when `i1 ≤ s1^r` (the paper's
+/// partitioning bound) and [`ScalingError::BadInput`] for malformed
+/// fractions or `r < 2`.
+///
+/// # Example
+/// ```
+/// // Figure 3's top-left point: I₂ = 0.9, S₂ = 0.2, R = 16.
+/// let a2 = futility_core::scaling::alpha_two_partitions(0.1, 0.8, 16).unwrap();
+/// assert!((a2 - 2.83).abs() < 0.01);
+/// ```
+pub fn alpha_two_partitions(i1: f64, s1: f64, r: usize) -> Result<f64, ScalingError> {
+    if !(0.0..=1.0).contains(&i1) || !(s1 > 0.0 && s1 < 1.0) {
+        return Err(ScalingError::BadInput(format!(
+            "need 0 <= I1 <= 1 and 0 < S1 < 1, got I1={i1}, S1={s1}"
+        )));
+    }
+    if r < 2 {
+        return Err(ScalingError::BadInput("need R >= 2".into()));
+    }
+    let s2 = 1.0 - s1;
+    let bound = s1.powi(r as i32);
+    if i1 <= bound {
+        return Err(ScalingError::Infeasible {
+            partition: 0,
+            insertion: i1,
+            bound,
+        });
+    }
+    let root = (i1 / s1).powf(1.0 / (r as f64 - 1.0));
+    Ok(s2 / (root - s1))
+}
+
+/// The eviction fractions `E_i(α)` under the uniformity assumption, for
+/// arbitrary scaling factors. Exposed for tests and for the Figure 3
+/// harness; computed by piecewise Simpson integration between the
+/// breakpoints `{α_j}` where `F` changes form.
+pub fn eviction_fractions(sizes: &[f64], alphas: &[f64], r: usize) -> Vec<f64> {
+    assert_eq!(sizes.len(), alphas.len());
+    let n = sizes.len();
+    let f = |x: f64| -> f64 {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += sizes[j] * (x / alphas[j]).min(1.0);
+        }
+        acc
+    };
+    // integrate F(x)^(r-1) from 0 to a_i, piecewise between breakpoints.
+    let mut bps: Vec<f64> = alphas.to_vec();
+    bps.push(0.0);
+    bps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    bps.dedup();
+    let integral_to = |upper: f64| -> f64 {
+        let mut total = 0.0;
+        let mut lo = 0.0;
+        for &bp in &bps {
+            let hi = bp.min(upper);
+            if hi > lo {
+                total += simpson(&f, lo, hi, r as i32 - 1, 256);
+                lo = hi;
+            }
+        }
+        if upper > lo {
+            total += simpson(&f, lo, upper, r as i32 - 1, 256);
+        }
+        total
+    };
+    (0..n)
+        .map(|i| r as f64 * sizes[i] / alphas[i] * integral_to(alphas[i]))
+        .collect()
+}
+
+fn simpson(f: &dyn Fn(f64) -> f64, lo: f64, hi: f64, pow: i32, steps: usize) -> f64 {
+    let g = |x: f64| f(x).powi(pow);
+    let h = (hi - lo) / steps as f64;
+    let mut acc = g(lo) + g(hi);
+    for k in 1..steps {
+        let x = lo + k as f64 * h;
+        acc += if k % 2 == 1 { 4.0 } else { 2.0 } * g(x);
+    }
+    acc * h / 3.0
+}
+
+/// Solve for the N-partition scaling factors `α` such that the eviction
+/// fraction of every partition matches its insertion fraction
+/// (`E_i = I_i`), normalized so `min α_i = 1`. Generalizes Equation (1)
+/// per the technical-report derivation the paper cites.
+///
+/// # Errors
+/// * [`ScalingError::BadInput`] — fractions malformed or not summing to 1.
+/// * [`ScalingError::Infeasible`] — some `I_i ≤ S_i^R`.
+/// * [`ScalingError::NoConvergence`] — fixed point not reached.
+///
+/// # Example
+/// ```
+/// # use futility_core::scaling::solve_scaling_factors;
+/// // Balanced partitions need no scaling at all.
+/// let a = solve_scaling_factors(&[0.5, 0.5], &[0.5, 0.5], 16).unwrap();
+/// assert!((a[0] - 1.0).abs() < 1e-3 && (a[1] - 1.0).abs() < 1e-3);
+/// ```
+pub fn solve_scaling_factors(
+    insertions: &[f64],
+    sizes: &[f64],
+    r: usize,
+) -> Result<Vec<f64>, ScalingError> {
+    let n = sizes.len();
+    if n == 0 || insertions.len() != n {
+        return Err(ScalingError::BadInput("length mismatch or empty".into()));
+    }
+    let sum_i: f64 = insertions.iter().sum();
+    let sum_s: f64 = sizes.iter().sum();
+    if (sum_i - 1.0).abs() > 1e-6 || (sum_s - 1.0).abs() > 1e-6 {
+        return Err(ScalingError::BadInput(format!(
+            "fractions must sum to 1 (got I: {sum_i}, S: {sum_s})"
+        )));
+    }
+    for (idx, (&i, &s)) in insertions.iter().zip(sizes).enumerate() {
+        if i <= 0.0 || s <= 0.0 {
+            return Err(ScalingError::BadInput(format!(
+                "partition {idx} has non-positive fraction"
+            )));
+        }
+        let bound = s.powi(r as i32);
+        if i <= bound {
+            return Err(ScalingError::Infeasible {
+                partition: idx,
+                insertion: i,
+                bound,
+            });
+        }
+    }
+    // The paper's bound generalizes to groups: every subset G of
+    // partitions jointly evicts at least (S_G)^R of the time (all R
+    // candidates inside G), so it needs I_G > (S_G)^R or its size
+    // cannot be held no matter how the complement is scaled.
+    if n <= 16 {
+        for mask in 1u32..(1 << n) - 1 {
+            let mut ig = 0.0;
+            let mut sg = 0.0;
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    ig += insertions[i];
+                    sg += sizes[i];
+                }
+            }
+            let bound = sg.powi(r as i32);
+            if ig <= bound {
+                return Err(ScalingError::Infeasible {
+                    partition: mask.trailing_zeros() as usize,
+                    insertion: ig,
+                    bound,
+                });
+            }
+        }
+    }
+
+    let mut alphas = vec![1.0f64; n];
+    // E_i scales roughly like α_i^(R-1) through F(x)^(R-1), so a damped
+    // multiplicative update with exponent 1/(R-1) is approximately a
+    // Newton step in log space; the per-step clamp guards the far field.
+    let eta = 1.0 / (r as f64 - 1.0);
+    let mut best_alphas = alphas.clone();
+    let mut best_residual = f64::INFINITY;
+    for _ in 0..5000 {
+        let e = eviction_fractions(sizes, &alphas, r);
+        let residual = insertions
+            .iter()
+            .zip(&e)
+            .map(|(i, e)| (i - e).abs())
+            .fold(0.0, f64::max);
+        if residual < best_residual {
+            best_residual = residual;
+            best_alphas.clone_from(&alphas);
+        }
+        if residual < 1e-6 {
+            break;
+        }
+        for i in 0..n {
+            let step = (insertions[i] / e[i].max(1e-12)).powf(eta);
+            alphas[i] *= step.clamp(0.8, 1.25);
+        }
+        let min = alphas.iter().copied().fold(f64::INFINITY, f64::min);
+        for a in &mut alphas {
+            *a /= min;
+        }
+    }
+    // Extreme I/S ratios stall at the integration accuracy floor; a
+    // residual of 1e-4 in eviction fractions is far below anything the
+    // simulations can resolve, so accept the best iterate there.
+    if best_residual < 1e-4 {
+        let min = best_alphas.iter().copied().fold(f64::INFINITY, f64::min);
+        for a in &mut best_alphas {
+            *a /= min;
+        }
+        return Ok(best_alphas);
+    }
+    Err(ScalingError::NoConvergence {
+        residual: best_residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_one_matches_section_four_anecdote() {
+        // §IV-C: I1 = I2 = 0.5, S2 shrinking 0.4 → 0.1 raises α2 from
+        // ~1.03 to ~1.62 (re-derived; the OCR of the paper garbles it).
+        let a_04 = alpha_two_partitions(0.5, 0.6, 16).unwrap();
+        let a_01 = alpha_two_partitions(0.5, 0.9, 16).unwrap();
+        assert!((a_04 - 1.031).abs() < 0.01, "{a_04}");
+        assert!((a_01 - 1.62).abs() < 0.01, "{a_01}");
+        assert!(a_01 > a_04);
+    }
+
+    #[test]
+    fn balanced_partitions_need_no_scaling() {
+        let a = alpha_two_partitions(0.5, 0.5, 16).unwrap();
+        assert!((a - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_below_s_pow_r() {
+        // I1 < S1^R = 0.9^4 ≈ 0.656 is unenforceable at R = 4.
+        let err = alpha_two_partitions(0.5, 0.9, 4).unwrap_err();
+        assert!(matches!(err, ScalingError::Infeasible { .. }));
+        // Just above the bound it works and is huge.
+        let a = alpha_two_partitions(0.66, 0.9, 4).unwrap();
+        assert!(a > 5.0);
+    }
+
+    #[test]
+    fn eviction_fractions_sum_to_one() {
+        for alphas in [vec![1.0, 1.0], vec![1.0, 2.5], vec![1.0, 3.0, 7.0]] {
+            let n = alphas.len();
+            let sizes = vec![1.0 / n as f64; n];
+            let e = eviction_fractions(&sizes, &alphas, 16);
+            let sum: f64 = e.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "sum {sum} for {alphas:?}");
+        }
+    }
+
+    #[test]
+    fn unscaled_eviction_matches_insertion_only_when_balanced() {
+        // With all α = 1, E_i == S_i: sizes drift unless I == S.
+        let e = eviction_fractions(&[0.3, 0.7], &[1.0, 1.0], 16);
+        assert!((e[0] - 0.3).abs() < 1e-6);
+        assert!((e[1] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solver_agrees_with_closed_form_two_partitions() {
+        for (i1, s1) in [(0.1, 0.8), (0.3, 0.6), (0.4, 0.65), (0.45, 0.5)] {
+            let closed = alpha_two_partitions(i1, s1, 16).unwrap();
+            let solved =
+                solve_scaling_factors(&[i1, 1.0 - i1], &[s1, 1.0 - s1], 16).unwrap();
+            assert!((solved[0] - 1.0).abs() < 1e-3, "{solved:?}");
+            assert!(
+                (solved[1] - closed).abs() / closed < 0.02,
+                "closed {closed} vs solved {}",
+                solved[1]
+            );
+        }
+    }
+
+    #[test]
+    fn solver_handles_four_partitions() {
+        let insertions = [0.4, 0.3, 0.2, 0.1];
+        let sizes = [0.25, 0.25, 0.25, 0.25];
+        let alphas = solve_scaling_factors(&insertions, &sizes, 16).unwrap();
+        // Hotter partitions need larger scaling factors.
+        assert!(alphas[0] > alphas[1]);
+        assert!(alphas[1] > alphas[2]);
+        assert!(alphas[2] > alphas[3]);
+        assert!((alphas[3] - 1.0).abs() < 1e-6, "coldest is the reference");
+        // And the solution actually balances eviction with insertion.
+        let e = eviction_fractions(&sizes, &alphas, 16);
+        for (ei, ii) in e.iter().zip(&insertions) {
+            assert!((ei - ii).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn solver_rejects_bad_fractions() {
+        assert!(matches!(
+            solve_scaling_factors(&[0.5, 0.4], &[0.5, 0.5], 16),
+            Err(ScalingError::BadInput(_))
+        ));
+        assert!(matches!(
+            solve_scaling_factors(&[], &[], 16),
+            Err(ScalingError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn scaling_factor_grows_with_pressure() {
+        // Figure 3's qualitative shape: higher I2 (lower I1) and smaller
+        // S2 both push α2 up.
+        let base = alpha_two_partitions(0.3, 0.7, 16).unwrap();
+        let hotter = alpha_two_partitions(0.2, 0.7, 16).unwrap();
+        let smaller = alpha_two_partitions(0.3, 0.75, 16).unwrap();
+        assert!(hotter > base);
+        assert!(smaller > base);
+    }
+}

@@ -1,0 +1,300 @@
+//! Coarse-grain timestamp-based LRU — the paper's practical hardware
+//! futility ranking (Section V-A).
+//!
+//! Every partition has an 8-bit current-timestamp counter incremented
+//! once per `K` accesses to that partition, with `K = size/16`. Each
+//! line is tagged with its partition's timestamp at insert/hit time, and
+//! its futility is the unsigned 8-bit distance
+//! `f_ts = (CurrentTS − line_ts) mod 256`, normalized here to
+//! `f = f_ts / 256` so schemes can treat all rankings uniformly (the
+//! scaled comparison is identical because normalization is monotone).
+//!
+//! An optional *exact shadow* (on by default) maintains precise ranks so
+//! that measured associativity CDFs use true futility, as the paper's
+//! evaluation does; the shadow never influences replacement decisions.
+
+use crate::pool::TreapPool;
+use cachesim::{AccessMeta, FutilityRanking, PartitionId};
+use cachesim::fxmap::FxHashMap;
+
+/// Number of timestamp buckets per partition "generation" (`K = size/16`).
+const BUCKETS_PER_SIZE: u64 = 16;
+
+#[derive(Debug)]
+struct CoarsePool {
+    /// 8-bit current timestamp.
+    current_ts: u8,
+    /// Accesses since the last timestamp bump.
+    accesses: u64,
+    /// Per-line timestamp tags.
+    tags: FxHashMap<u64, u8>,
+    /// Exact shadow ranks (keyed by last-access time), if enabled.
+    shadow: Option<TreapPool<false>>,
+}
+
+impl CoarsePool {
+    fn new(seed: u64, exact_shadow: bool) -> Self {
+        CoarsePool {
+            current_ts: 0,
+            accesses: 0,
+            tags: FxHashMap::default(),
+            shadow: exact_shadow.then(|| TreapPool::new(seed)),
+        }
+    }
+
+    fn tick(&mut self) {
+        self.accesses += 1;
+        // K = 1/16 of this partition's (current) size, at least 1.
+        let k = (self.tags.len() as u64 / BUCKETS_PER_SIZE).max(1);
+        if self.accesses >= k {
+            self.accesses = 0;
+            self.current_ts = self.current_ts.wrapping_add(1);
+        }
+    }
+
+    fn touch(&mut self, addr: u64, time: u64) {
+        self.tags.insert(addr, self.current_ts);
+        if let Some(s) = &mut self.shadow {
+            s.upsert(addr, time);
+        }
+        self.tick();
+    }
+}
+
+/// Coarse-grain timestamp-based LRU ranking.
+#[derive(Debug)]
+pub struct CoarseLru {
+    pools: Vec<CoarsePool>,
+    exact_shadow: bool,
+    /// Only pools below this index carry the exact shadow.
+    shadow_limit: usize,
+}
+
+impl CoarseLru {
+    /// With exact shadow ranks for measurement (the configuration used
+    /// by all experiments).
+    pub fn new() -> Self {
+        CoarseLru {
+            pools: Vec::new(),
+            exact_shadow: true,
+            shadow_limit: usize::MAX,
+        }
+    }
+
+    /// Exact shadow ranks only for pools `0..k` (cheaper when only some
+    /// partitions' associativity statistics are reported); the
+    /// remaining pools fall back to the coarse estimate.
+    pub fn with_shadow_pools(k: usize) -> Self {
+        CoarseLru {
+            pools: Vec::new(),
+            exact_shadow: true,
+            shadow_limit: k,
+        }
+    }
+
+    /// Without the exact shadow: pure hardware behaviour, cheapest
+    /// simulation. `true_futility` falls back to the coarse estimate.
+    pub fn without_exact_shadow() -> Self {
+        CoarseLru {
+            pools: Vec::new(),
+            exact_shadow: false,
+            shadow_limit: 0,
+        }
+    }
+
+    fn pool_mut(&mut self, part: PartitionId) -> &mut CoarsePool {
+        let idx = part.index();
+        if idx >= self.pools.len() {
+            let n = self.pools.len();
+            let shadow = self.exact_shadow;
+            let limit = self.shadow_limit;
+            self.pools
+                .extend((n..=idx).map(|i| CoarsePool::new(0x2017 + i as u64, shadow && i < limit)));
+        }
+        &mut self.pools[idx]
+    }
+
+    /// The raw 8-bit timestamp distance of a line (what the hardware
+    /// computes before scaling), or `None` if untracked.
+    pub fn timestamp_distance(&self, part: PartitionId, addr: u64) -> Option<u8> {
+        let pool = self.pools.get(part.index())?;
+        let tag = *pool.tags.get(&addr)?;
+        Some(pool.current_ts.wrapping_sub(tag))
+    }
+}
+
+impl Default for CoarseLru {
+    fn default() -> Self {
+        CoarseLru::new()
+    }
+}
+
+impl FutilityRanking for CoarseLru {
+    fn name(&self) -> &'static str {
+        "coarse-lru"
+    }
+
+    fn reset(&mut self, pools: usize) {
+        let shadow = self.exact_shadow;
+        let limit = self.shadow_limit;
+        self.pools = (0..pools)
+            .map(|i| CoarsePool::new(0x2017 + i as u64, shadow && i < limit))
+            .collect();
+    }
+
+    fn on_insert(&mut self, part: PartitionId, addr: u64, time: u64, _meta: AccessMeta) {
+        self.pool_mut(part).touch(addr, time);
+    }
+
+    fn on_hit(&mut self, part: PartitionId, addr: u64, time: u64, _meta: AccessMeta) {
+        self.pool_mut(part).touch(addr, time);
+    }
+
+    fn on_evict(&mut self, part: PartitionId, addr: u64) {
+        let pool = self.pool_mut(part);
+        pool.tags.remove(&addr);
+        if let Some(s) = &mut pool.shadow {
+            s.remove(addr);
+        }
+    }
+
+    fn on_retag(&mut self, from: PartitionId, to: PartitionId, addr: u64) {
+        // Preserve the line's age: re-tag it in the destination pool at
+        // the same timestamp distance it had in the source pool.
+        let (dist, key) = {
+            let pool = self.pool_mut(from);
+            let tag = match pool.tags.remove(&addr) {
+                Some(t) => t,
+                None => return,
+            };
+            let dist = pool.current_ts.wrapping_sub(tag);
+            let key = pool.shadow.as_mut().and_then(|s| s.remove(addr));
+            (dist, key)
+        };
+        let pool = self.pool_mut(to);
+        let new_tag = pool.current_ts.wrapping_sub(dist);
+        pool.tags.insert(addr, new_tag);
+        if let (Some(s), Some(k)) = (&mut pool.shadow, key) {
+            s.upsert(addr, k);
+        }
+    }
+
+    fn futility(&self, part: PartitionId, addr: u64) -> f64 {
+        match self.timestamp_distance(part, addr) {
+            Some(d) => d as f64 / 256.0,
+            None => 0.0,
+        }
+    }
+
+    fn true_futility(&self, part: PartitionId, addr: u64) -> f64 {
+        let pool = match self.pools.get(part.index()) {
+            Some(p) => p,
+            None => return 0.0,
+        };
+        match &pool.shadow {
+            Some(s) => s.futility(addr),
+            None => self.futility(part, addr),
+        }
+    }
+
+    fn max_futility_line(&self, part: PartitionId) -> Option<u64> {
+        // Only answerable exactly with the shadow; the hardware scheme
+        // never needs this query (it is used by the FullAssoc ideal).
+        self.pools
+            .get(part.index())
+            .and_then(|p| p.shadow.as_ref())
+            .and_then(|s| s.most_futile())
+    }
+
+    fn pool_len(&self, part: PartitionId) -> usize {
+        self.pools.get(part.index()).map_or(0, |p| p.tags.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: PartitionId = PartitionId(0);
+    const META: AccessMeta = AccessMeta {
+        next_use: cachesim::NO_NEXT_USE,
+    };
+
+    #[test]
+    fn timestamp_advances_every_k_accesses() {
+        let mut r = CoarseLru::new();
+        r.reset(1);
+        // Insert 32 lines: with size < 16, K = 1 so ts advances fast.
+        for (t, a) in (0..32u64).map(|i| (i + 1, i + 100)) {
+            r.on_insert(P, a, t, META);
+        }
+        // First line should have a larger distance than the last.
+        let d_first = r.timestamp_distance(P, 100).unwrap();
+        let d_last = r.timestamp_distance(P, 131).unwrap();
+        assert!(d_first > d_last, "{d_first} vs {d_last}");
+        assert!(r.futility(P, 100) > r.futility(P, 131));
+    }
+
+    #[test]
+    fn hit_resets_distance() {
+        let mut r = CoarseLru::new();
+        r.reset(1);
+        for (t, a) in (0..40u64).map(|i| (i + 1, i)) {
+            r.on_insert(P, a, t, META);
+        }
+        let before = r.timestamp_distance(P, 0).unwrap();
+        r.on_hit(P, 0, 100, META);
+        // The hit tags the line with the current timestamp; the counter
+        // may tick once immediately afterwards, so distance is 0 or 1.
+        let after = r.timestamp_distance(P, 0).unwrap();
+        assert!(after <= 1, "distance after hit was {after}");
+        assert!(after < before);
+    }
+
+    #[test]
+    fn shadow_gives_exact_true_futility() {
+        let mut r = CoarseLru::new();
+        r.reset(1);
+        r.on_insert(P, 1, 1, META);
+        r.on_insert(P, 2, 2, META);
+        r.on_insert(P, 3, 3, META);
+        assert!((r.true_futility(P, 1) - 1.0).abs() < 1e-12);
+        assert!((r.true_futility(P, 3) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.max_futility_line(P), Some(1));
+    }
+
+    #[test]
+    fn without_shadow_true_equals_coarse() {
+        let mut r = CoarseLru::without_exact_shadow();
+        r.reset(1);
+        r.on_insert(P, 1, 1, META);
+        assert_eq!(r.true_futility(P, 1), r.futility(P, 1));
+        assert_eq!(r.max_futility_line(P), None);
+    }
+
+    #[test]
+    fn retag_preserves_distance() {
+        let mut r = CoarseLru::new();
+        r.reset(2);
+        let q = PartitionId(1);
+        for (t, a) in (0..64u64).map(|i| (i + 1, i)) {
+            r.on_insert(P, a, t, META);
+        }
+        let d_before = r.timestamp_distance(P, 0).unwrap();
+        r.on_retag(P, q, 0);
+        let d_after = r.timestamp_distance(q, 0).unwrap();
+        assert_eq!(d_before, d_after);
+        assert_eq!(r.pool_len(q), 1);
+    }
+
+    #[test]
+    fn eviction_forgets_line() {
+        let mut r = CoarseLru::new();
+        r.reset(1);
+        r.on_insert(P, 9, 1, META);
+        r.on_evict(P, 9);
+        assert_eq!(r.timestamp_distance(P, 9), None);
+        assert_eq!(r.futility(P, 9), 0.0);
+        assert_eq!(r.pool_len(P), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Least-frequently-used futility ranking: lines are ranked by access
+//! frequency ("their access frequencies", §III-A), with LRU as the
+//! tiebreaker among equally-hot lines.
+
+use crate::pool::TreapPool;
+use cachesim::{AccessMeta, FutilityRanking, PartitionId};
+use cachesim::fxmap::FxHashMap;
+
+/// Bits of the composite key reserved for the recency tiebreak.
+const TIME_BITS: u32 = 44;
+const TIME_MASK: u64 = (1 << TIME_BITS) - 1;
+/// Saturation point for access counts so the packed key cannot overflow.
+const MAX_COUNT: u64 = (1 << (64 - TIME_BITS)) - 1;
+
+/// LFU ranking; the coldest (least-accessed, least-recent) line of a
+/// partition has futility 1.
+#[derive(Debug, Default)]
+pub struct Lfu {
+    pools: Vec<TreapPool<false>>,
+    counts: Vec<FxHashMap<u64, u64>>,
+}
+
+impl Lfu {
+    /// Create an empty ranking (pools sized on `reset`).
+    pub fn new() -> Self {
+        Lfu::default()
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.pools.len() {
+            let n = self.pools.len();
+            self.pools
+                .extend((n..=idx).map(|i| TreapPool::new(0x1F0 + i as u64)));
+            self.counts.resize_with(idx + 1, FxHashMap::default);
+        }
+    }
+
+    fn key(count: u64, time: u64) -> u64 {
+        (count.min(MAX_COUNT) << TIME_BITS) | (time & TIME_MASK)
+    }
+
+    /// Current access count of a tracked line.
+    pub fn count_of(&self, part: PartitionId, addr: u64) -> Option<u64> {
+        self.counts.get(part.index())?.get(&addr).copied()
+    }
+}
+
+impl FutilityRanking for Lfu {
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+
+    fn reset(&mut self, pools: usize) {
+        self.pools = (0..pools).map(|i| TreapPool::new(0x1F0 + i as u64)).collect();
+        self.counts = (0..pools).map(|_| FxHashMap::default()).collect();
+    }
+
+    fn on_insert(&mut self, part: PartitionId, addr: u64, time: u64, _meta: AccessMeta) {
+        self.ensure(part.index());
+        self.counts[part.index()].insert(addr, 1);
+        self.pools[part.index()].upsert(addr, Self::key(1, time));
+    }
+
+    fn on_hit(&mut self, part: PartitionId, addr: u64, time: u64, _meta: AccessMeta) {
+        self.ensure(part.index());
+        let count = self.counts[part.index()]
+            .entry(addr)
+            .and_modify(|c| *c += 1)
+            .or_insert(1);
+        let key = Self::key(*count, time);
+        self.pools[part.index()].upsert(addr, key);
+    }
+
+    fn on_evict(&mut self, part: PartitionId, addr: u64) {
+        self.ensure(part.index());
+        self.counts[part.index()].remove(&addr);
+        self.pools[part.index()].remove(addr);
+    }
+
+    fn on_retag(&mut self, from: PartitionId, to: PartitionId, addr: u64) {
+        self.ensure(from.index().max(to.index()));
+        if let Some(key) = self.pools[from.index()].remove(addr) {
+            let count = self.counts[from.index()].remove(&addr).unwrap_or(1);
+            self.counts[to.index()].insert(addr, count);
+            self.pools[to.index()].upsert(addr, key);
+        }
+    }
+
+    fn futility(&self, part: PartitionId, addr: u64) -> f64 {
+        self.pools
+            .get(part.index())
+            .map_or(0.0, |p| p.futility(addr))
+    }
+
+    fn max_futility_line(&self, part: PartitionId) -> Option<u64> {
+        self.pools.get(part.index()).and_then(|p| p.most_futile())
+    }
+
+    fn pool_len(&self, part: PartitionId) -> usize {
+        self.pools.get(part.index()).map_or(0, |p| p.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: PartitionId = PartitionId(0);
+    const META: AccessMeta = AccessMeta {
+        next_use: cachesim::NO_NEXT_USE,
+    };
+
+    #[test]
+    fn cold_line_is_most_futile() {
+        let mut r = Lfu::new();
+        r.reset(1);
+        r.on_insert(P, 1, 1, META);
+        r.on_insert(P, 2, 2, META);
+        r.on_hit(P, 1, 3, META);
+        r.on_hit(P, 1, 4, META);
+        assert_eq!(r.max_futility_line(P), Some(2));
+        assert!((r.futility(P, 2) - 1.0).abs() < 1e-12);
+        assert_eq!(r.count_of(P, 1), Some(3));
+    }
+
+    #[test]
+    fn recency_breaks_frequency_ties() {
+        let mut r = Lfu::new();
+        r.reset(1);
+        r.on_insert(P, 1, 1, META);
+        r.on_insert(P, 2, 2, META);
+        // Both have count 1; line 1 is older, so more futile.
+        assert_eq!(r.max_futility_line(P), Some(1));
+    }
+
+    #[test]
+    fn eviction_clears_count() {
+        let mut r = Lfu::new();
+        r.reset(1);
+        r.on_insert(P, 1, 1, META);
+        r.on_hit(P, 1, 2, META);
+        r.on_evict(P, 1);
+        assert_eq!(r.count_of(P, 1), None);
+        assert_eq!(r.pool_len(P), 0);
+    }
+
+    #[test]
+    fn retag_carries_count_over() {
+        let mut r = Lfu::new();
+        r.reset(2);
+        let q = PartitionId(1);
+        r.on_insert(P, 1, 1, META);
+        r.on_hit(P, 1, 2, META);
+        r.on_retag(P, q, 1);
+        assert_eq!(r.count_of(q, 1), Some(2));
+        assert_eq!(r.pool_len(P), 0);
+        assert_eq!(r.pool_len(q), 1);
+    }
+}

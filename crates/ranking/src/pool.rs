@@ -1,0 +1,125 @@
+//! Shared per-partition order-statistic pool used by the exact rankings.
+
+use cachesim::ostree::OsTreap;
+use cachesim::fxmap::FxHashMap;
+
+/// One partition's worth of ranking state: an order-statistic treap over
+/// `(key, addr)` pairs plus an address → key map.
+///
+/// `HIGH_IS_FUTILE` selects the futility orientation:
+/// * `true` — the largest key is the most futile line (e.g. OPT, where
+///   the key is the next-use time).
+/// * `false` — the smallest key is the most futile line (e.g. LRU,
+///   where the key is the last-access time).
+#[derive(Debug)]
+pub(crate) struct TreapPool<const HIGH_IS_FUTILE: bool> {
+    treap: OsTreap<(u64, u64)>,
+    keys: FxHashMap<u64, u64>,
+}
+
+impl<const HIGH_IS_FUTILE: bool> TreapPool<HIGH_IS_FUTILE> {
+    pub(crate) fn new(seed: u64) -> Self {
+        TreapPool {
+            treap: OsTreap::new(seed),
+            keys: FxHashMap::default(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.treap.len()
+    }
+
+    /// Insert or re-key a line.
+    pub(crate) fn upsert(&mut self, addr: u64, key: u64) {
+        if let Some(old) = self.keys.insert(addr, key) {
+            self.treap.remove(&(old, addr));
+        }
+        self.treap.insert((key, addr));
+    }
+
+    /// Remove a line; returns its key if it was present.
+    pub(crate) fn remove(&mut self, addr: u64) -> Option<u64> {
+        let old = self.keys.remove(&addr)?;
+        self.treap.remove(&(old, addr));
+        Some(old)
+    }
+
+    /// The stored key for `addr`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn key_of(&self, addr: u64) -> Option<u64> {
+        self.keys.get(&addr).copied()
+    }
+
+    /// Normalized futility of `addr` in `(0, 1]`; 0.0 for untracked
+    /// lines or empty pools.
+    pub(crate) fn futility(&self, addr: u64) -> f64 {
+        let key = match self.keys.get(&addr) {
+            Some(&k) => k,
+            None => return 0.0,
+        };
+        let m = self.treap.len();
+        if m == 0 {
+            return 0.0;
+        }
+        let rank = self.treap.rank(&(key, addr));
+        if HIGH_IS_FUTILE {
+            (rank + 1) as f64 / m as f64
+        } else {
+            (m - rank) as f64 / m as f64
+        }
+    }
+
+    /// The most futile line, if any.
+    pub(crate) fn most_futile(&self) -> Option<u64> {
+        let entry = if HIGH_IS_FUTILE {
+            self.treap.max()
+        } else {
+            self.treap.min()
+        };
+        entry.map(|&(_, addr)| addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_key_futile_orientation() {
+        let mut p: TreapPool<false> = TreapPool::new(1);
+        p.upsert(10, 100);
+        p.upsert(11, 200);
+        assert!((p.futility(10) - 1.0).abs() < 1e-12);
+        assert!((p.futility(11) - 0.5).abs() < 1e-12);
+        assert_eq!(p.most_futile(), Some(10));
+    }
+
+    #[test]
+    fn high_key_futile_orientation() {
+        let mut p: TreapPool<true> = TreapPool::new(2);
+        p.upsert(10, 100);
+        p.upsert(11, 200);
+        assert!((p.futility(11) - 1.0).abs() < 1e-12);
+        assert_eq!(p.most_futile(), Some(11));
+    }
+
+    #[test]
+    fn upsert_rekeys_in_place() {
+        let mut p: TreapPool<false> = TreapPool::new(3);
+        p.upsert(10, 100);
+        p.upsert(11, 200);
+        p.upsert(10, 300); // refresh line 10
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.most_futile(), Some(11));
+        assert_eq!(p.key_of(10), Some(300));
+    }
+
+    #[test]
+    fn remove_untracked_is_none() {
+        let mut p: TreapPool<false> = TreapPool::new(4);
+        assert_eq!(p.remove(77), None);
+        p.upsert(77, 1);
+        assert_eq!(p.remove(77), Some(1));
+        assert_eq!(p.len(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! QoS-enabled CMP timing simulator (the paper's Table II system):
+//! in-order 2 GHz cores replaying L2-access traces against a shared
+//! partitioned L2, an L2 hit latency, and a 200-cycle zero-load memory
+//! with a 32 GB/s shared-bandwidth queueing model. Network and memory
+//! latency feed back into trace timing, delaying each core's future
+//! accesses — the same first-order model as the paper's own trace-driven
+//! simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use simqos::{System, SystemConfig, Thread};
+//! use cachesim::array::SetAssociative;
+//! use cachesim::hashing::LineHash;
+//! use cachesim::PartitionedCache;
+//! use workloads::benchmark;
+//!
+//! let cfg = SystemConfig::micro2014();
+//! let cache = PartitionedCache::new(
+//!     Box::new(SetAssociative::with_lines(4096, 16, LineHash::new(1))),
+//!     ranking::by_name("lru").unwrap(),
+//!     cachesim::evict_max_futility(),
+//!     1,
+//! );
+//! let trace = workloads::benchmark("gromacs").unwrap().generate(20_000, 7);
+//! let mut sys = System::new(cfg, cache, vec![Thread::new("gromacs", trace)]);
+//! let result = sys.run(0.2);
+//! assert!(result.threads[0].ipc() > 0.0);
+//! ```
+
+pub mod alloc;
+pub mod memory;
+pub mod metrics;
+pub mod system;
+pub mod timing;
+
+pub use alloc::{equal_share, lru_miss_curve, static_qos, ucp_allocate};
+pub use memory::MemoryChannel;
+pub use metrics::{throughput, weighted_speedup};
+pub use system::{System, SystemResult, Thread, ThreadResult};
+pub use timing::SystemConfig;

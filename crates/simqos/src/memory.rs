@@ -1,0 +1,94 @@
+//! Shared memory-channel model: fixed zero-load latency plus an M/D/1
+//! style queueing delay when concurrent misses exceed the channel's
+//! 32 GB/s drain rate. This is what turns `lbm`'s miss storm into
+//! visible interference in Figure 7.
+
+use crate::timing::SystemConfig;
+
+/// A single shared memory channel. All times are core cycles.
+#[derive(Clone, Debug)]
+pub struct MemoryChannel {
+    zero_load: u64,
+    transfer: u64,
+    next_free: u64,
+    served: u64,
+    queue_cycles_total: u64,
+}
+
+impl MemoryChannel {
+    /// Build a channel from the system configuration.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        MemoryChannel {
+            zero_load: cfg.mem_zero_load_cycles,
+            transfer: cfg.transfer_cycles().max(1),
+            next_free: 0,
+            served: 0,
+            queue_cycles_total: 0,
+        }
+    }
+
+    /// Service a miss issued at cycle `now`; returns the total latency
+    /// (queueing + zero-load + transfer) the requesting core observes.
+    pub fn access(&mut self, now: u64) -> u64 {
+        let start = self.next_free.max(now);
+        let queue = start - now;
+        self.next_free = start + self.transfer;
+        self.served += 1;
+        self.queue_cycles_total += queue;
+        queue + self.zero_load + self.transfer
+    }
+
+    /// Number of misses served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Average queueing delay per request, in cycles.
+    pub fn avg_queue_cycles(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.queue_cycles_total as f64 / self.served as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> MemoryChannel {
+        MemoryChannel::new(&SystemConfig::micro2014())
+    }
+
+    #[test]
+    fn unloaded_requests_see_zero_load_latency() {
+        let mut m = channel();
+        // 204 = 200 zero-load + 4 transfer.
+        assert_eq!(m.access(0), 204);
+        assert_eq!(m.access(1_000), 204);
+        assert_eq!(m.avg_queue_cycles(), 0.0);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut m = channel();
+        assert_eq!(m.access(0), 204);
+        // Channel busy until cycle 4: a request at cycle 0 queues 4.
+        assert_eq!(m.access(0), 208);
+        assert_eq!(m.access(0), 212);
+        assert_eq!(m.served(), 3);
+        assert!(m.avg_queue_cycles() > 0.0);
+    }
+
+    #[test]
+    fn saturation_grows_queue_linearly() {
+        let mut m = channel();
+        let mut last = 0;
+        for _ in 0..100 {
+            last = m.access(0);
+        }
+        // 100th request waits ~99 transfer slots.
+        assert_eq!(last, 204 + 99 * 4);
+    }
+}

@@ -1,0 +1,41 @@
+//! Multiprogram performance metrics.
+
+/// Weighted speedup: `Σ_i IPC_shared_i / IPC_alone_i`. Equal-length
+/// slices; alone IPCs of 0 contribute 0 (dead thread).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len());
+    shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| if a > 0.0 { s / a } else { 0.0 })
+        .sum()
+}
+
+/// Raw throughput: sum of IPCs.
+pub fn throughput(ipcs: &[f64]) -> f64 {
+    ipcs.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_speedup_is_n_when_undisturbed() {
+        let ipcs = [0.5, 0.8, 0.2];
+        assert!((weighted_speedup(&ipcs, &ipcs) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_handles_dead_threads() {
+        assert_eq!(weighted_speedup(&[0.5], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn throughput_sums() {
+        assert!((throughput(&[0.25, 0.25, 0.5]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,317 @@
+//! The multicore event loop: one thread per partition, each replaying
+//! its trace; cache hit/miss latencies delay that thread's future
+//! accesses.
+
+use crate::memory::MemoryChannel;
+use crate::timing::SystemConfig;
+use cachesim::{AccessMeta, PartitionId, PartitionedCache, Trace};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One simulated thread: a name and the L2-access trace it replays.
+#[derive(Clone, Debug)]
+pub struct Thread {
+    /// Display name (benchmark name).
+    pub name: String,
+    /// The trace to replay.
+    pub trace: Trace,
+}
+
+impl Thread {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, trace: Trace) -> Self {
+        Thread {
+            name: name.into(),
+            trace,
+        }
+    }
+}
+
+struct ThreadState {
+    name: String,
+    trace: Trace,
+    next_use: Vec<u64>,
+    pos: usize,
+    /// Core-local clock, in cycles.
+    now: u64,
+    insts: u64,
+    hits: u64,
+    misses: u64,
+    /// Snapshot taken when warmup ends: (instructions, cycles).
+    measure_from: (u64, u64),
+}
+
+/// Per-thread results after a run.
+#[derive(Clone, Debug)]
+pub struct ThreadResult {
+    /// Thread name.
+    pub name: String,
+    /// Instructions executed after warmup.
+    pub insts: u64,
+    /// Cycles elapsed after warmup.
+    pub cycles: u64,
+    /// Post-warmup L2 hits.
+    pub hits: u64,
+    /// Post-warmup L2 misses.
+    pub misses: u64,
+}
+
+impl ThreadResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / self.insts as f64
+        }
+    }
+}
+
+/// Whole-system results.
+#[derive(Clone, Debug)]
+pub struct SystemResult {
+    /// One entry per thread, in partition order.
+    pub threads: Vec<ThreadResult>,
+    /// Average memory queueing delay observed, in cycles.
+    pub avg_mem_queue_cycles: f64,
+}
+
+/// The simulated CMP: a shared partitioned cache plus N trace-replaying
+/// cores.
+pub struct System {
+    config: SystemConfig,
+    cache: PartitionedCache,
+    threads: Vec<ThreadState>,
+}
+
+impl System {
+    /// Build a system. The cache must have been created with
+    /// `threads.len()` partitions (thread `i` issues as partition `i`).
+    ///
+    /// # Panics
+    /// Panics if the partition count does not match the thread count.
+    pub fn new(config: SystemConfig, cache: PartitionedCache, threads: Vec<Thread>) -> Self {
+        assert_eq!(
+            cache.partitions(),
+            threads.len(),
+            "cache partitions must match thread count"
+        );
+        let threads = threads
+            .into_iter()
+            .map(|t| {
+                let next_use = t.trace.annotate_next_use();
+                ThreadState {
+                    name: t.name,
+                    next_use,
+                    trace: t.trace,
+                    pos: 0,
+                    now: 0,
+                    insts: 0,
+                    hits: 0,
+                    misses: 0,
+                    measure_from: (0, 0),
+                }
+            })
+            .collect();
+        System {
+            config,
+            cache,
+            threads,
+        }
+    }
+
+    /// Access the shared cache (e.g. to set targets before running).
+    pub fn cache_mut(&mut self) -> &mut PartitionedCache {
+        &mut self.cache
+    }
+
+    /// The shared cache (for stats inspection after a run).
+    pub fn cache(&self) -> &PartitionedCache {
+        &self.cache
+    }
+
+    /// Run every thread to the end of its trace. `warmup_fraction` of
+    /// the total accesses is excluded from the reported statistics (the
+    /// cache stats are reset at the same point).
+    pub fn run(&mut self, warmup_fraction: f64) -> SystemResult {
+        let mut memory = MemoryChannel::new(&self.config);
+        let total: usize = self.threads.iter().map(|t| t.trace.len()).sum();
+        let warmup = (total as f64 * warmup_fraction.clamp(0.0, 1.0)) as usize;
+        let mut processed = 0usize;
+        let mut warm = warmup == 0;
+
+        // Min-heap of (next access issue time, thread index).
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (i, t) in self.threads.iter_mut().enumerate() {
+            if !t.trace.is_empty() {
+                let gap = t.trace.accesses[0].inst_gap as u64;
+                let issue = (gap as f64 * self.config.base_cpi) as u64;
+                heap.push(Reverse((issue, i)));
+            }
+        }
+
+        while let Some(Reverse((issue_at, idx))) = heap.pop() {
+            let (addr, meta, gap) = {
+                let t = &self.threads[idx];
+                let a = t.trace.accesses[t.pos];
+                (
+                    a.addr,
+                    AccessMeta::with_next_use(t.next_use[t.pos]),
+                    a.inst_gap as u64,
+                )
+            };
+            let outcome = self
+                .cache
+                .access(PartitionId(idx as u16), addr, meta);
+            let latency = if outcome.is_hit() {
+                self.config.l2_hit_cycles
+            } else {
+                self.config.l2_hit_cycles + memory.access(issue_at)
+            };
+            {
+                let t = &mut self.threads[idx];
+                t.insts += gap;
+                t.now = issue_at + latency;
+                if outcome.is_hit() {
+                    t.hits += 1;
+                } else {
+                    t.misses += 1;
+                }
+                t.pos += 1;
+            }
+            processed += 1;
+            if !warm && processed >= warmup {
+                warm = true;
+                self.cache.stats_mut().reset();
+                for th in &mut self.threads {
+                    th.measure_from = (th.insts, th.now);
+                    th.hits = 0;
+                    th.misses = 0;
+                }
+            }
+            if self.threads[idx].pos < self.threads[idx].trace.len() {
+                let t = &self.threads[idx];
+                let next_gap = t.trace.accesses[t.pos].inst_gap as u64;
+                let issue = t.now + (next_gap as f64 * self.config.base_cpi) as u64;
+                heap.push(Reverse((issue, idx)));
+            }
+        }
+
+        SystemResult {
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadResult {
+                    name: t.name.clone(),
+                    insts: t.insts - t.measure_from.0,
+                    cycles: t.now.saturating_sub(t.measure_from.1),
+                    hits: t.hits,
+                    misses: t.misses,
+                })
+                .collect(),
+            avg_mem_queue_cycles: memory.avg_queue_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::array::SetAssociative;
+    use cachesim::hashing::LineHash;
+
+    fn one_thread_system(trace: Trace, lines: usize) -> System {
+        let cache = PartitionedCache::new(
+            Box::new(SetAssociative::with_lines(lines, 16, LineHash::new(1))),
+            cachesim::naive_lru(),
+            cachesim::evict_max_futility(),
+            1,
+        );
+        System::new(
+            SystemConfig::micro2014(),
+            cache,
+            vec![Thread::new("t0", trace)],
+        )
+    }
+
+    #[test]
+    fn all_hit_workload_reaches_near_base_ipc_bound() {
+        // A tiny working set: after the first sweep everything hits.
+        let addrs: Vec<u64> = (0..10_000u64).map(|i| i % 16).collect();
+        let trace = Trace::from_addrs(addrs, 100);
+        let mut sys = one_thread_system(trace, 1024);
+        let r = sys.run(0.1);
+        let t = &r.threads[0];
+        // 100 insts per access at CPI 1 plus a 12-cycle hit: IPC ≈ 0.89.
+        assert!(t.ipc() > 0.85 && t.ipc() <= 1.0, "ipc {}", t.ipc());
+        assert_eq!(t.misses, 0);
+    }
+
+    #[test]
+    fn streaming_workload_is_memory_bound() {
+        let trace = Trace::from_addrs(0..10_000u64, 10);
+        let mut sys = one_thread_system(trace, 1024);
+        let r = sys.run(0.0);
+        let t = &r.threads[0];
+        // Every access misses: 10 insts per ~216 cycles ≈ 0.046 IPC.
+        assert!(t.ipc() < 0.06, "ipc {}", t.ipc());
+        assert_eq!(t.hits, 0);
+    }
+
+    #[test]
+    fn bandwidth_contention_slows_co_runners() {
+        // Two streaming threads share the channel; each must be slower
+        // than it would be alone.
+        let mk = |base: u64| Trace::from_addrs(base..base + 20_000u64, 4);
+        let solo_ipc = {
+            let mut sys = one_thread_system(mk(0), 1024);
+            sys.run(0.0).threads[0].ipc()
+        };
+        let cache = PartitionedCache::new(
+            Box::new(SetAssociative::with_lines(1024, 16, LineHash::new(1))),
+            cachesim::naive_lru(),
+            cachesim::evict_max_futility(),
+            2,
+        );
+        let mut sys = System::new(
+            SystemConfig::micro2014(),
+            cache,
+            vec![
+                Thread::new("a", mk(0)),
+                Thread::new("b", mk(1 << 30)),
+            ],
+        );
+        let r = sys.run(0.0);
+        assert!(r.threads[0].ipc() <= solo_ipc);
+        assert!(r.avg_mem_queue_cycles > 0.0);
+    }
+
+    #[test]
+    fn warmup_excludes_cold_misses() {
+        let addrs: Vec<u64> = (0..20_000u64).map(|i| i % 64).collect();
+        let trace = Trace::from_addrs(addrs, 10);
+        let mut sys = one_thread_system(trace, 1024);
+        let r = sys.run(0.5);
+        let t = &r.threads[0];
+        assert_eq!(t.misses, 0, "cold misses happened before the cut");
+        assert!(t.insts <= 110_000);
+    }
+
+    #[test]
+    fn mpki_accounts_post_warmup_misses() {
+        let trace = Trace::from_addrs(0..1_000u64, 10);
+        let mut sys = one_thread_system(trace, 8192);
+        let r = sys.run(0.0);
+        let t = &r.threads[0];
+        assert!((t.mpki() - 100.0).abs() < 1.0, "all miss at 10 ipa: {}", t.mpki());
+    }
+}

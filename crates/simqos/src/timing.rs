@@ -1,0 +1,86 @@
+//! Timing parameters (Table II of the paper).
+
+/// System timing configuration. All latencies are in core cycles.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Core frequency in GHz (Table II: 2 GHz in-order x86-64).
+    pub freq_ghz: f64,
+    /// Base CPI of the in-order core for non-L2 instructions.
+    pub base_cpi: f64,
+    /// Shared L2 access latency (Table II: 8-cycle access latency plus
+    /// the 4-cycle average L1-to-L2 NUCA hop).
+    pub l2_hit_cycles: u64,
+    /// Zero-load memory latency (Table II: 200 cycles).
+    pub mem_zero_load_cycles: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Peak shared memory bandwidth in GB/s (Table II: 32 GB/s).
+    pub mem_bw_gbps: f64,
+}
+
+impl SystemConfig {
+    /// The paper's Table II configuration.
+    pub fn micro2014() -> Self {
+        SystemConfig {
+            freq_ghz: 2.0,
+            base_cpi: 1.0,
+            l2_hit_cycles: 12,
+            mem_zero_load_cycles: 200,
+            line_bytes: 64,
+            mem_bw_gbps: 32.0,
+        }
+    }
+
+    /// Memory bytes transferred per core cycle at peak bandwidth.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.mem_bw_gbps / self.freq_ghz
+    }
+
+    /// Cycles the memory channel is busy per line transfer.
+    pub fn transfer_cycles(&self) -> u64 {
+        (self.line_bytes as f64 / self.bytes_per_cycle()).ceil() as u64
+    }
+
+    /// Render the configuration as the paper's Table II rows.
+    pub fn describe(&self) -> String {
+        format!(
+            "Cores   {:.0} GHz in-order, base CPI {:.1}\n\
+             L2 $    shared, partitioned; {}-cycle hit latency, {}B lines\n\
+             MCU     {} cycles zero-load latency, {:.0} GB/s peak BW \
+             ({} cycles per line transfer)",
+            self.freq_ghz,
+            self.base_cpi,
+            self.l2_hit_cycles,
+            self.line_bytes,
+            self.mem_zero_load_cycles,
+            self.mem_bw_gbps,
+            self.transfer_cycles(),
+        )
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::micro2014()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_two_derived_quantities() {
+        let c = SystemConfig::micro2014();
+        assert_eq!(c.bytes_per_cycle(), 16.0);
+        assert_eq!(c.transfer_cycles(), 4);
+        let d = c.describe();
+        assert!(d.contains("2 GHz"));
+        assert!(d.contains("32 GB/s"));
+    }
+
+    #[test]
+    fn default_is_micro2014() {
+        assert_eq!(SystemConfig::default(), SystemConfig::micro2014());
+    }
+}

@@ -1,0 +1,220 @@
+//! Trace drivers: functional (non-timing) ways of replaying one or many
+//! traces through a [`PartitionedCache`].
+//!
+//! * [`InterleavedDriver`] replays N traces round-robin, one access per
+//!   thread per turn — the paper's setup for the homogeneous Figure 2
+//!   workloads.
+//! * [`RateControlledDriver`] reproduces Section IV's methodology: "the
+//!   insertion rate of each partition is controlled by adjusting the
+//!   speed of the trace feeding (i.e., the probability of next insertion
+//!   that belongs to Partition i is equal to the pre-configured
+//!   insertion rate I_i)."
+
+use cachesim::{AccessMeta, PartitionId, PartitionedCache, Trace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One thread's replay cursor.
+struct Cursor {
+    trace: Trace,
+    next_use: Vec<u64>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(trace: Trace) -> Self {
+        let next_use = trace.annotate_next_use();
+        Cursor {
+            trace,
+            next_use,
+            pos: 0,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.trace.len()
+    }
+
+    fn step(&mut self, part: PartitionId, cache: &mut PartitionedCache) -> bool {
+        if self.done() {
+            return false;
+        }
+        let a = self.trace.accesses[self.pos];
+        let meta = AccessMeta::with_next_use(self.next_use[self.pos]);
+        self.pos += 1;
+        cache.access(part, a.addr, meta).is_hit()
+    }
+}
+
+/// Round-robin replay of one trace per partition.
+pub struct InterleavedDriver {
+    cursors: Vec<Cursor>,
+}
+
+impl InterleavedDriver {
+    /// Build a driver; trace `i` is replayed as partition `i`.
+    pub fn new(traces: Vec<Trace>) -> Self {
+        InterleavedDriver {
+            cursors: traces.into_iter().map(Cursor::new).collect(),
+        }
+    }
+
+    /// Replay all traces round-robin to completion. If
+    /// `warmup_fraction > 0`, statistics are reset once that fraction of
+    /// the total accesses has been replayed.
+    pub fn run(&mut self, cache: &mut PartitionedCache, warmup_fraction: f64) {
+        let total: usize = self.cursors.iter().map(|c| c.trace.len()).sum();
+        let warmup = (total as f64 * warmup_fraction.clamp(0.0, 1.0)) as usize;
+        let mut fed = 0usize;
+        let mut reset_done = warmup == 0;
+        while self.cursors.iter().any(|c| !c.done()) {
+            for (i, cur) in self.cursors.iter_mut().enumerate() {
+                if !cur.done() {
+                    cur.step(PartitionId(i as u16), cache);
+                    fed += 1;
+                }
+            }
+            if !reset_done && fed >= warmup {
+                cache.stats_mut().reset();
+                reset_done = true;
+            }
+        }
+    }
+}
+
+/// Insertion-rate-controlled replay (Section IV methodology).
+pub struct RateControlledDriver {
+    cursors: Vec<Cursor>,
+    rates: Vec<f64>,
+    rng: SmallRng,
+}
+
+impl RateControlledDriver {
+    /// Build a driver with per-partition insertion-rate fractions
+    /// `rates` (must sum to ~1).
+    ///
+    /// # Panics
+    /// Panics if lengths differ or rates don't sum to 1 (±1e-6).
+    pub fn new(traces: Vec<Trace>, rates: Vec<f64>, seed: u64) -> Self {
+        assert_eq!(traces.len(), rates.len());
+        let sum: f64 = rates.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "insertion rates must sum to 1, got {sum}"
+        );
+        RateControlledDriver {
+            cursors: traces.into_iter().map(Cursor::new).collect(),
+            rates,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Drive the cache until `insertions` misses have been inserted (or
+    /// some trace is exhausted). Each insertion belongs to partition `i`
+    /// with probability `rates[i]`: the driver advances the chosen
+    /// partition's trace until it produces a miss, processing any hits
+    /// along the way. Returns the number of insertions actually driven.
+    pub fn run(&mut self, cache: &mut PartitionedCache, insertions: u64) -> u64 {
+        let mut driven = 0u64;
+        'outer: while driven < insertions {
+            // Sample the partition of the next insertion.
+            let x: f64 = self.rng.gen();
+            let mut acc = 0.0;
+            let mut part = self.cursors.len() - 1;
+            for (i, &r) in self.rates.iter().enumerate() {
+                acc += r;
+                if x < acc {
+                    part = i;
+                    break;
+                }
+            }
+            // Feed that partition's trace until it misses.
+            loop {
+                if self.cursors[part].done() {
+                    break 'outer;
+                }
+                let hit = self.cursors[part].step(PartitionId(part as u16), cache);
+                if !hit {
+                    driven += 1;
+                    break;
+                }
+            }
+        }
+        driven
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::array::RandomCandidates;
+
+    fn cache(lines: usize, parts: usize) -> PartitionedCache {
+        PartitionedCache::new(
+            Box::new(RandomCandidates::new(lines, 8, 7)),
+            cachesim::naive_lru(),
+            cachesim::evict_max_futility(),
+            parts,
+        )
+    }
+
+    #[test]
+    fn interleaved_driver_replays_everything() {
+        let t0 = Trace::from_addrs(0..100u64, 1);
+        let t1 = Trace::from_addrs(1000..1100u64, 1);
+        let mut c = cache(64, 2);
+        InterleavedDriver::new(vec![t0, t1]).run(&mut c, 0.0);
+        let s = c.stats();
+        assert_eq!(
+            s.partition(PartitionId(0)).accesses()
+                + s.partition(PartitionId(1)).accesses(),
+            200
+        );
+    }
+
+    #[test]
+    fn warmup_resets_statistics() {
+        let t0 = Trace::from_addrs((0..400u64).map(|i| i % 32), 1);
+        let mut c = cache(64, 1);
+        InterleavedDriver::new(vec![t0]).run(&mut c, 0.5);
+        let s = c.stats().partition(PartitionId(0));
+        // After warmup the 32-line working set is resident: all hits.
+        assert!(s.accesses() <= 220, "stats were reset: {}", s.accesses());
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn rate_controlled_insertions_follow_rates() {
+        // Two streaming traces (every access misses) with a 0.8/0.2
+        // split: insertions should land roughly 4:1.
+        let t0 = Trace::from_addrs(0..20_000u64, 1);
+        let t1 = Trace::from_addrs(1_000_000..1_020_000u64, 1);
+        let mut c = cache(256, 2);
+        let mut d = RateControlledDriver::new(vec![t0, t1], vec![0.8, 0.2], 11);
+        let driven = d.run(&mut c, 10_000);
+        assert_eq!(driven, 10_000);
+        let s = c.state();
+        let frac0 = s.insertions[0] as f64 / (s.insertions[0] + s.insertions[1]) as f64;
+        assert!((frac0 - 0.8).abs() < 0.02, "insertion fraction {frac0}");
+    }
+
+    #[test]
+    fn rate_controlled_stops_on_exhaustion() {
+        let t0 = Trace::from_addrs(0..50u64, 1);
+        let t1 = Trace::from_addrs(1000..1050u64, 1);
+        let mut c = cache(32, 2);
+        let mut d = RateControlledDriver::new(vec![t0, t1], vec![0.5, 0.5], 3);
+        let driven = d.run(&mut c, 1_000_000);
+        assert!(driven <= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_rates() {
+        let _ = RateControlledDriver::new(
+            vec![Trace::new(), Trace::new()],
+            vec![0.5, 0.6],
+            1,
+        );
+    }
+}

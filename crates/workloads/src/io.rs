@@ -1,0 +1,167 @@
+//! Trace import/export, so real L2 traces (e.g. collected from a
+//! full-system simulator the way the paper used Sniper) can be replayed
+//! through the library instead of the synthetic profiles.
+//!
+//! Two formats:
+//! * **Binary** — magic `FSTR1\n`, a little-endian `u64` record count,
+//!   then `(u64 line_address, u32 inst_gap)` records. Compact and
+//!   lossless.
+//! * **Text** — one access per line: `<address> [inst_gap]`, addresses
+//!   in decimal or `0x…` hex, `#` comments and blank lines ignored,
+//!   missing gaps default to 1. Convenient for hand-written fixtures
+//!   and quick conversions.
+
+use cachesim::{Access, Trace};
+use std::io::{self, BufRead, Read, Write};
+
+/// Magic bytes of the binary trace format.
+pub const TRACE_MAGIC: &[u8; 6] = b"FSTR1\n";
+
+/// Write a trace in the binary format.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn save_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(TRACE_MAGIC)?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for a in &trace.accesses {
+        w.write_all(&a.addr.to_le_bytes())?;
+        w.write_all(&a.inst_gap.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Read a binary trace written by [`save_trace`].
+///
+/// # Errors
+/// Returns `InvalidData` on a bad magic or truncated stream, and
+/// propagates underlying I/O errors.
+pub fn load_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 6];
+    r.read_exact(&mut magic)
+        .map_err(|_| bad("missing trace header"))?;
+    if &magic != TRACE_MAGIC {
+        return Err(bad("not an FSTR1 trace"));
+    }
+    let mut count = [0u8; 8];
+    r.read_exact(&mut count).map_err(|_| bad("truncated count"))?;
+    let count = u64::from_le_bytes(count);
+    let mut accesses = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut rec = [0u8; 12];
+    for i in 0..count {
+        r.read_exact(&mut rec)
+            .map_err(|_| bad_at("truncated record", i))?;
+        let addr = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+        let gap = u32::from_le_bytes(rec[8..].try_into().expect("4 bytes"));
+        accesses.push(Access::new(addr, gap));
+    }
+    Ok(Trace { accesses })
+}
+
+/// Parse a text trace: `<address> [inst_gap]` per line.
+///
+/// # Errors
+/// Returns `InvalidData` naming the offending line on parse failures.
+pub fn parse_text_trace<R: BufRead>(r: R) -> io::Result<Trace> {
+    let mut accesses = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut parts = body.split_whitespace();
+        let addr_tok = parts.next().expect("non-empty body");
+        let addr = parse_u64(addr_tok)
+            .ok_or_else(|| bad_at("bad address", lineno as u64 + 1))?;
+        let gap = match parts.next() {
+            Some(tok) => tok
+                .parse::<u32>()
+                .map_err(|_| bad_at("bad inst_gap", lineno as u64 + 1))?,
+            None => 1,
+        };
+        if parts.next().is_some() {
+            return Err(bad_at("trailing tokens", lineno as u64 + 1));
+        }
+        accesses.push(Access::new(addr, gap));
+    }
+    Ok(Trace { accesses })
+}
+
+fn parse_u64(tok: &str) -> Option<u64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn bad_at(msg: &str, pos: u64) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{msg} (record/line {pos})"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_roundtrip_is_lossless() {
+        let trace = crate::benchmark("mcf").expect("profile").generate(5_000, 3);
+        let mut buf = Vec::new();
+        save_trace(&trace, &mut buf).unwrap();
+        let back = load_trace(&buf[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = load_trace(&b"NOTATRACE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let trace = Trace::from_addrs(0..10u64, 2);
+        let mut buf = Vec::new();
+        save_trace(&trace, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        let err = load_trace(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("truncated record"));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        save_trace(&Trace::new(), &mut buf).unwrap();
+        assert!(load_trace(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn text_format_parses_comments_hex_and_defaults() {
+        let src = "# a fixture\n0x40 10\n64\n\n128 5 # trailing comment\n";
+        let t = parse_text_trace(src.as_bytes()).unwrap();
+        assert_eq!(
+            t.accesses,
+            vec![
+                Access::new(0x40, 10),
+                Access::new(64, 1),
+                Access::new(128, 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn text_format_reports_line_numbers() {
+        let err = parse_text_trace("64\nnot_an_addr\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_text_trace("64 1 extra\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Synthetic workload generators standing in for the paper's SPEC
+//! CPU2006 traces (Section VII-C), plus the trace drivers used by the
+//! analytical experiments of Section IV.
+//!
+//! The real evaluation replays 250M-instruction SimPoint regions through
+//! Sniper; we cannot ship those traces, so each benchmark is modelled as
+//! a deterministic mixture of access *patterns* (streams, loops,
+//! Zipf-distributed reuse, pointer chases, strided sweeps) whose knobs
+//! are tuned to the behavioural anchors the paper itself reports — e.g.
+//! `mcf` is strongly associativity-sensitive at every cache size while
+//! `lbm` is a streaming memory hog with negligible reuse. See DESIGN.md
+//! §3 for the substitution argument.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::spec;
+//! let profile = spec::benchmark("mcf").unwrap();
+//! let trace = profile.generate(10_000, 42);
+//! assert_eq!(trace.len(), 10_000);
+//! assert!(trace.footprint() > 1_000, "mcf touches a large footprint");
+//! ```
+
+pub mod drivers;
+pub mod io;
+pub mod mix;
+pub mod patterns;
+pub mod spec;
+pub mod zipf;
+
+pub use drivers::{InterleavedDriver, RateControlledDriver};
+pub use io::{load_trace, parse_text_trace, save_trace};
+pub use mix::{UnknownBenchmark, WorkloadMix};
+pub use patterns::{Pattern, PatternSpec};
+pub use spec::{benchmark, BenchmarkProfile, ALL_BENCHMARKS};
+pub use zipf::Zipf;

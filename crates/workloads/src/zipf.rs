@@ -1,0 +1,105 @@
+//! A deterministic Zipf sampler over `{0, …, n−1}` with exponent `s`:
+//! rank `k` is drawn with probability proportional to `1 / (k+1)^s`.
+//! Used to model temporally skewed reuse (hot data structures).
+
+use rand::Rng;
+
+/// Zipf distribution sampler with a precomputed cumulative table
+/// (`O(n)` memory, `O(log n)` per sample).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with exponent `s ≥ 0` (`s = 0` is
+    /// uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is over a single item.
+    pub fn is_empty(&self) -> bool {
+        false // n > 0 is enforced at construction
+    }
+
+    /// Draw one rank in `0..n` (rank 0 is the hottest).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("cumulative is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let z = Zipf::new(1000, 0.8);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_support() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Associativity study (a miniature Figures 2 + 4): demonstrates the
+//! paper's central claim on one screen. A cache is split into a growing
+//! number of equal partitions running identical mcf-like threads; under
+//! Partitioning-First the average eviction futility (AEF) of partition
+//! 0 collapses toward the 0.5 random floor as partitions multiply,
+//! while Futility Scaling holds it near the unpartitioned level.
+//!
+//! Run with: `cargo run --release --example associativity_study`
+
+use futility_scaling::prelude::*;
+
+const PARTITION_LINES: usize = 2_048; // 128KB per partition
+
+fn aef_of_partition0(scheme: Box<dyn PartitionScheme>, n: usize) -> f64 {
+    let lines = PARTITION_LINES * n;
+    let mut cache = PartitionedCache::new(
+        Box::new(SetAssociative::with_lines(lines, 16, LineHash::new(3))),
+        Box::new(ExactLru::new()),
+        scheme,
+        n,
+    );
+    let mcf = benchmark("mcf").expect("profile");
+    let traces: Vec<Trace> = (0..n)
+        .map(|i| mcf.generate_with_base(50_000, 100 + i as u64, (i as u64) << 40))
+        .collect();
+    let mut driver = InterleavedDriver::new(traces);
+    driver.run(&mut cache, 0.3);
+    cache.stats().partition(PartitionId(0)).aef()
+}
+
+fn main() {
+    println!("AEF of partition 0 (identical mcf threads, 128KB each, 16-way):\n");
+    println!("{:>4}  {:>8}  {:>12}  {:>7}", "N", "PF", "FS-feedback", "gap");
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let pf = aef_of_partition0(Box::new(Pf), n);
+        let fs = aef_of_partition0(Box::new(FsFeedback::default_config()), n);
+        println!("{n:>4}  {pf:>8.3}  {fs:>12.3}  {:>+7.3}", fs - pf);
+        if n >= 16 {
+            assert!(
+                fs > pf,
+                "FS must preserve associativity where PF degrades (N={n})"
+            );
+        }
+    }
+    println!(
+        "\nPF's victim pool shrinks to ~R/N candidates as N grows, driving its\n\
+         AEF toward the futility-blind 0.5 floor; FS always picks from all 16\n\
+         candidates, so its AEF is independent of the partition count\n\
+         (paper, Sections III-C and IV-C)."
+    );
+}

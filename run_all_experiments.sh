@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerate every figure/table and the ablations; tee into results/.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+for bin in table2 fig1 fig3 fig4 fig7 fig2 fig5 fig6 fig8 ablation_arrays ablation_rankings ablation_resize; do
+    echo "=== $bin ($(date +%H:%M:%S)) ==="
+    cargo run --release -q -p fs-bench --bin "$bin" > "results/${bin}_full.txt" 2>&1
+    echo "    exit $?"
+done
+echo "ALL DONE $(date +%H:%M:%S)"

@@ -1,0 +1,191 @@
+//! Cross-crate composition tests: the engine driving every array kind,
+//! demotion/promotion flows through the Vantage scheme, and end-to-end
+//! determinism.
+
+use futility_scaling::prelude::*;
+
+/// Vantage's demotions and promotions flow through the engine: lines
+/// retagged into the unmanaged pool are counted there, and a hit
+/// promotes them back to the accessor.
+#[test]
+fn vantage_demotion_and_promotion_through_engine() {
+    let lines = 512;
+    let mut cache = PartitionedCache::new(
+        Box::new(RandomCandidates::new(lines, 16, 3)),
+        Box::new(ExactLru::new()),
+        Box::new(Vantage::default_config()),
+        2,
+    );
+    // 90% managed split between two partitions.
+    cache.set_targets(&[230, 230]);
+    // Fill with P0 lines it will keep re-touching, then stream P1 hard:
+    // P1 exceeds its target, its tail gets demoted to the unmanaged pool.
+    for i in 0..200u64 {
+        cache.access(PartitionId(0), i, AccessMeta::default());
+    }
+    for i in 0..40_000u64 {
+        cache.access(PartitionId(1), 10_000 + i, AccessMeta::default());
+        if i % 8 == 0 {
+            // Keep P0 warm so its lines are not the futile ones.
+            cache.access(PartitionId(0), i % 200, AccessMeta::default());
+        }
+    }
+    let state = cache.state();
+    assert_eq!(state.pools(), 3, "two partitions + unmanaged pool");
+    assert!(
+        state.actual[2] > 0,
+        "demotions populated the unmanaged pool ({:?})",
+        state.actual
+    );
+    assert_eq!(
+        state.actual.iter().sum::<usize>(),
+        cache.array().occupied(),
+        "pool accounting stays consistent through retags"
+    );
+    // Promotion: hit a line that currently sits in the unmanaged pool.
+    let unmanaged_before = state.actual[2];
+    let promoted = (10_000..50_000u64)
+        .rev()
+        .find(|addr| {
+            cache
+                .array()
+                .lookup(*addr)
+                .and_then(|s| cache.array().occupant(s))
+                .is_some_and(|o| o.part == PartitionId(2))
+        })
+        .expect("some line is unmanaged");
+    cache.access(PartitionId(1), promoted, AccessMeta::default());
+    let state = cache.state();
+    assert_eq!(state.actual[2], unmanaged_before - 1, "hit promoted the line");
+    let slot = cache.array().lookup(promoted).expect("still resident");
+    assert_eq!(
+        cache.array().occupant(slot).expect("occupied").part,
+        PartitionId(1)
+    );
+}
+
+/// The engine composes with the relocating zcache: lines stay findable
+/// across relocation chains and partition accounting holds.
+#[test]
+fn zcache_composition_preserves_invariants() {
+    let mut cache = PartitionedCache::new(
+        Box::new(ZCache::new(64, 4, 16, 9)),
+        Box::new(ExactLru::new()),
+        Box::new(FsFeedback::default_config()),
+        2,
+    );
+    cache.set_targets(&[160, 96]);
+    for i in 0..30_000u64 {
+        let p = PartitionId((i % 2) as u16);
+        let addr = (i * 17) % 600 + p.index() as u64 * 100_000;
+        cache.access(p, addr, AccessMeta::default());
+    }
+    assert_eq!(cache.array().occupied(), 256);
+    assert_eq!(cache.state().actual.iter().sum::<usize>(), 256);
+    let occ0 = cache.state().actual[0] as f64;
+    assert!(
+        (occ0 / 160.0 - 1.0).abs() < 0.2,
+        "FS holds targets on a zcache too (actual {occ0})"
+    );
+    assert!(cache.stats().total_hits() > 0);
+}
+
+/// Identical seeds produce bit-identical simulations (no ambient
+/// randomness anywhere in the stack).
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let mut cache = PartitionedCache::new(
+            Box::new(RandomCandidates::new(1_024, 16, 77)),
+            Box::new(CoarseLru::new()),
+            Box::new(FsFeedback::default_config()),
+            2,
+        );
+        cache.set_targets(&[700, 324]);
+        let traces = vec![
+            benchmark("mcf").expect("profile").generate_with_base(50_000, 5, 0),
+            benchmark("lbm").expect("profile").generate_with_base(50_000, 6, 1 << 40),
+        ];
+        InterleavedDriver::new(traces).run(&mut cache, 0.0);
+        (
+            cache.state().actual.clone(),
+            cache.stats().total_hits(),
+            cache.stats().total_misses(),
+            cache.stats().partition(PartitionId(0)).evict_futility_sum,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert!((a.3 - b.3).abs() < 1e-12);
+}
+
+/// The skew-associative array and every ranking compose with every
+/// scheme without violating occupancy accounting (randomized smoke).
+#[test]
+fn all_schemes_and_rankings_compose_on_skew_array() {
+    for scheme_name in ["pf", "cqvp", "prism", "vantage", "fs-feedback", "unpartitioned"] {
+        for ranking_name in ["lru", "coarse-lru", "lfu", "opt", "random", "rrip"] {
+            let scheme: Box<dyn PartitionScheme> = match scheme_name {
+                "fs-feedback" => Box::new(FsFeedback::default_config()),
+                other => baselines::by_name(other).expect("known scheme"),
+            };
+            let mut cache = PartitionedCache::new(
+                Box::new(SkewAssociative::new(32, 8, 4)),
+                ranking::by_name(ranking_name).expect("known ranking"),
+                scheme,
+                3,
+            );
+            for i in 0..5_000u64 {
+                let p = PartitionId((i % 3) as u16);
+                let addr = (i * 1_103) % 700 + p.index() as u64 * 10_000;
+                // OPT needs a next-use hint; a synthetic one is fine for
+                // the smoke test.
+                cache.access(p, addr, AccessMeta::with_next_use(i + 100));
+            }
+            assert_eq!(
+                cache.state().actual.iter().sum::<usize>(),
+                cache.array().occupied(),
+                "{scheme_name}/{ranking_name} broke accounting"
+            );
+            assert!(
+                cache.stats().total_hits() + cache.stats().total_misses() == 5_000,
+                "{scheme_name}/{ranking_name} lost accesses"
+            );
+        }
+    }
+}
+
+/// Way-partitioning through the engine: sizes converge to the way
+/// proportions and lines never migrate across way boundaries.
+#[test]
+fn way_partitioning_through_engine() {
+    let ways = 16;
+    let mut cache = PartitionedCache::new(
+        Box::new(SetAssociative::new(64, ways, LineHash::new(21))),
+        Box::new(ExactLru::new()),
+        Box::new(WayPartitioned::new(ways)),
+        2,
+    );
+    let total = 64 * ways;
+    cache.set_targets(&[total * 3 / 4, total / 4]);
+    for i in 0..80_000u64 {
+        let p = PartitionId((i % 2) as u16);
+        let addr = (i * 7_919) % 3_000 + p.index() as u64 * 100_000;
+        cache.access(p, addr, AccessMeta::default());
+    }
+    let actual = &cache.state().actual;
+    // 12 of 16 ways → 768 lines; 4 ways → 256 lines.
+    assert!(
+        (actual[0] as f64 / 768.0 - 1.0).abs() < 0.05,
+        "P0 fills its 12 ways (actual {})",
+        actual[0]
+    );
+    assert!(
+        (actual[1] as f64 / 256.0 - 1.0).abs() < 0.05,
+        "P1 fills its 4 ways (actual {})",
+        actual[1]
+    );
+}

@@ -1,0 +1,170 @@
+//! Integration tests of the paper's headline claims, spanning the
+//! cachesim / ranking / futility-core / baselines / workloads crates.
+
+use futility_scaling::prelude::*;
+
+fn feed_uniform(cache: &mut PartitionedCache, parts: usize, accesses: u64, footprint: u64) {
+    // splitmix64: a full-period hash so every partition sweeps its whole
+    // footprint pseudo-randomly (a bare multiply can degenerate to a
+    // short orbit for some partition counts).
+    let mix = |mut z: u64| {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in 0..accesses {
+        let part = PartitionId((i % parts as u64) as u16);
+        let addr = (mix(i) % footprint) + part.index() as u64 * (1 << 40);
+        cache.access(part, addr, AccessMeta::default());
+    }
+}
+
+/// Section IV-D: FS enforces sizes statistically close to target even
+/// with asymmetric insertion pressure.
+#[test]
+fn feedback_fs_holds_asymmetric_targets() {
+    let lines = 8_192;
+    let mut cache = PartitionedCache::new(
+        Box::new(SetAssociative::with_lines(lines, 16, LineHash::new(11))),
+        Box::new(CoarseLru::new()),
+        Box::new(FsFeedback::default_config()),
+        4,
+    );
+    let targets = [4_096usize, 2_048, 1_024, 1_024];
+    cache.set_targets(&targets);
+    feed_uniform(&mut cache, 4, 600_000, 40_000);
+    for (i, &t) in targets.iter().enumerate() {
+        let actual = cache.state().actual[i] as f64;
+        assert!(
+            (actual / t as f64 - 1.0).abs() < 0.12,
+            "partition {i}: actual {actual} vs target {t}"
+        );
+    }
+}
+
+/// Section IV-C: FS associativity is independent of the number of
+/// partitions, while PF degrades toward the 0.5 floor.
+#[test]
+fn fs_associativity_is_independent_of_partition_count() {
+    let aef = |scheme: Box<dyn PartitionScheme>, n: usize| -> f64 {
+        let mut cache = PartitionedCache::new(
+            Box::new(RandomCandidates::new(1_024 * n, 16, 5)),
+            Box::new(ExactLru::new()),
+            scheme,
+            n,
+        );
+        feed_uniform(&mut cache, n, 60_000 * n as u64, 4_000);
+        // Average subject AEF across partitions.
+        (0..n)
+            .map(|i| cache.stats().partition(PartitionId(i as u16)).aef())
+            .sum::<f64>()
+            / n as f64
+    };
+    let fs2 = aef(Box::new(FsFeedback::default_config()), 2);
+    let fs16 = aef(Box::new(FsFeedback::default_config()), 16);
+    let pf2 = aef(Box::new(Pf), 2);
+    let pf16 = aef(Box::new(Pf), 16);
+    assert!(
+        (fs2 - fs16).abs() < 0.08,
+        "FS AEF moved with N: {fs2:.3} vs {fs16:.3}"
+    );
+    assert!(
+        pf2 - pf16 > 0.10,
+        "PF should degrade with N: {pf2:.3} vs {pf16:.3}"
+    );
+    assert!(fs16 > pf16 + 0.1, "FS must beat PF at high N");
+}
+
+/// Section IV-B: the partitioning bound. A partition whose insertion
+/// rate is below S^R cannot be held at S by any replacement scheme;
+/// just above the bound it can.
+#[test]
+fn partitioning_bound_is_real() {
+    // R = 2 makes the bound large enough to straddle experimentally:
+    // S1 = 0.7 ⇒ bound = 0.49.
+    let run = |i1: f64| -> f64 {
+        let lines = 4_096;
+        let mut cache = PartitionedCache::new(
+            Box::new(RandomCandidates::new(lines, 2, 9)),
+            Box::new(ExactLru::new()),
+            Box::new(FsFeedback::default_config()),
+            2,
+        );
+        cache.set_targets(&[(lines as f64 * 0.7) as usize, (lines as f64 * 0.3) as usize]);
+        let t0 = Trace::from_addrs((0..4_000_000u64).map(|i| i % 3_000_000), 1);
+        let t1 = Trace::from_addrs((0..4_000_000u64).map(|i| (1 << 40) + i % 3_000_000), 1);
+        let mut driver = RateControlledDriver::new(vec![t0, t1], vec![i1, 1.0 - i1], 3);
+        driver.run(&mut cache, 300_000);
+        cache.state().actual[0] as f64 / lines as f64
+    };
+    let below_bound = run(0.30); // 0.30 < 0.49: unenforceable
+    let above_bound = run(0.65); // 0.65 > 0.49: enforceable
+    assert!(
+        below_bound < 0.60,
+        "below the bound the partition cannot reach 0.7 (got {below_bound:.3})"
+    );
+    assert!(
+        (above_bound - 0.7).abs() < 0.05,
+        "above the bound FS holds 0.7 (got {above_bound:.3})"
+    );
+}
+
+/// Smooth resizing: retargeting at runtime converges without any flush.
+#[test]
+fn retargeting_converges_without_flush() {
+    let lines = 8_192;
+    let mut cache = PartitionedCache::new(
+        Box::new(SetAssociative::with_lines(lines, 16, LineHash::new(13))),
+        Box::new(CoarseLru::new()),
+        Box::new(FsFeedback::default_config()),
+        2,
+    );
+    cache.set_targets(&[6_144, 2_048]);
+    feed_uniform(&mut cache, 2, 400_000, 30_000);
+    assert!((cache.state().actual[0] as f64 / 6_144.0 - 1.0).abs() < 0.12);
+    // Swap the allocation. No lines are invalidated; the scheme simply
+    // steers evictions until sizes flip.
+    cache.set_targets(&[2_048, 6_144]);
+    feed_uniform(&mut cache, 2, 400_000, 30_000);
+    assert!(
+        (cache.state().actual[1] as f64 / 6_144.0 - 1.0).abs() < 0.12,
+        "partition 1 should have grown to the new target (actual {})",
+        cache.state().actual[1]
+    );
+    assert_eq!(
+        cache.state().actual.iter().sum::<usize>(),
+        lines,
+        "no lines were flushed during resizing"
+    );
+}
+
+/// The analytic and feedback FS variants agree on steady-state sizing.
+#[test]
+fn analytic_and_feedback_fs_agree() {
+    let lines = 8_192;
+    let run = |scheme: Box<dyn PartitionScheme>| -> usize {
+        let mut cache = PartitionedCache::new(
+            Box::new(RandomCandidates::new(lines, 16, 21)),
+            Box::new(ExactLru::new()),
+            scheme,
+            2,
+        );
+        cache.set_targets(&[lines * 3 / 4, lines / 4]);
+        let t0 = Trace::from_addrs((0..2_000_000u64).map(|i| i % 1_000_000), 1);
+        let t1 = Trace::from_addrs((0..2_000_000u64).map(|i| (1 << 40) + i % 1_000_000), 1);
+        let mut d = RateControlledDriver::new(vec![t0, t1], vec![0.5, 0.5], 17);
+        d.run(&mut cache, 250_000);
+        cache.state().actual[0]
+    };
+    let analytic = run(Box::new(
+        FsAnalytic::from_rates(&[0.5, 0.5], &[0.75, 0.25], 16).expect("feasible"),
+    ));
+    let feedback = run(Box::new(FsFeedback::default_config()));
+    let target = lines * 3 / 4;
+    for (name, got) in [("analytic", analytic), ("feedback", feedback)] {
+        assert!(
+            (got as f64 / target as f64 - 1.0).abs() < 0.08,
+            "{name} FS settled at {got} (target {target})"
+        );
+    }
+}

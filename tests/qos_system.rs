@@ -1,0 +1,156 @@
+//! End-to-end QoS tests on the timing simulator: the Figure 7 claim in
+//! miniature — enforcement protects latency-sensitive subjects from
+//! streaming bullies, and better enforcement means better subject IPC.
+
+use futility_scaling::prelude::*;
+use simqos::static_qos;
+
+const TOTAL_LINES: usize = 16_384; // 1MB
+const SUBJECTS: usize = 2;
+const SUBJECT_LINES: usize = 4_096; // 256KB each
+const CORES: usize = 6;
+
+fn subject_metrics(scheme: Box<dyn PartitionScheme>) -> (f64, f64) {
+    let mut cache = PartitionedCache::new(
+        Box::new(SetAssociative::with_lines(TOTAL_LINES, 16, LineHash::new(4))),
+        Box::new(CoarseLru::new()),
+        scheme,
+        CORES,
+    );
+    cache.set_targets(&static_qos(
+        TOTAL_LINES,
+        SUBJECTS,
+        SUBJECT_LINES,
+        CORES - SUBJECTS,
+    ));
+    let gromacs = benchmark("gromacs").expect("profile");
+    let lbm = benchmark("lbm").expect("profile");
+    let threads: Vec<Thread> = (0..CORES)
+        .map(|i| {
+            let profile = if i < SUBJECTS { &gromacs } else { &lbm };
+            Thread::new(
+                format!("t{i}"),
+                profile.generate_with_base(120_000, 60 + i as u64, (i as u64) << 40),
+            )
+        })
+        .collect();
+    let mut sys = System::new(SystemConfig::micro2014(), cache, threads);
+    let result = sys.run(0.3);
+    let ipc = (0..SUBJECTS).map(|i| result.threads[i].ipc()).sum::<f64>() / SUBJECTS as f64;
+    let occ = (0..SUBJECTS)
+        .map(|i| {
+            sys.cache()
+                .stats()
+                .partition(PartitionId(i as u16))
+                .avg_occupancy()
+                / SUBJECT_LINES as f64
+        })
+        .sum::<f64>()
+        / SUBJECTS as f64;
+    (ipc, occ)
+}
+
+#[test]
+fn fs_protects_subjects_from_streaming_bullies() {
+    let (fs_ipc, fs_occ) = subject_metrics(Box::new(FsFeedback::default_config()));
+    let (shared_ipc, shared_occ) =
+        subject_metrics(Box::new(cachesim::scheme_api::EvictMaxFutility));
+    assert!(
+        fs_occ > shared_occ + 0.2,
+        "FS occupancy {fs_occ:.3} should dominate unregulated {shared_occ:.3}"
+    );
+    assert!(
+        fs_ipc > shared_ipc * 1.02,
+        "isolation must pay off: FS {fs_ipc:.4} vs shared {shared_ipc:.4}"
+    );
+}
+
+#[test]
+fn fullassoc_bounds_every_realizable_scheme() {
+    // The ideal cannot lose to the realizable schemes (modest slack for
+    // simulation noise and LRU quirks).
+    let mut cache = PartitionedCache::new(
+        Box::new(FullyAssociative::new(TOTAL_LINES)),
+        Box::new(CoarseLru::new()),
+        Box::new(FullAssocIdeal),
+        CORES,
+    );
+    cache.set_targets(&static_qos(
+        TOTAL_LINES,
+        SUBJECTS,
+        SUBJECT_LINES,
+        CORES - SUBJECTS,
+    ));
+    let gromacs = benchmark("gromacs").expect("profile");
+    let lbm = benchmark("lbm").expect("profile");
+    let threads: Vec<Thread> = (0..CORES)
+        .map(|i| {
+            let profile = if i < SUBJECTS { &gromacs } else { &lbm };
+            Thread::new(
+                format!("t{i}"),
+                profile.generate_with_base(120_000, 60 + i as u64, (i as u64) << 40),
+            )
+        })
+        .collect();
+    let mut sys = System::new(SystemConfig::micro2014(), cache, threads);
+    let result = sys.run(0.3);
+    let ideal_ipc =
+        (0..SUBJECTS).map(|i| result.threads[i].ipc()).sum::<f64>() / SUBJECTS as f64;
+    let (fs_ipc, _) = subject_metrics(Box::new(FsFeedback::default_config()));
+    assert!(
+        ideal_ipc >= fs_ipc * 0.97,
+        "ideal {ideal_ipc:.4} should bound FS {fs_ipc:.4}"
+    );
+}
+
+#[test]
+fn weighted_speedup_accounts_interference() {
+    // Weighted speedup of co-running threads must be below N (they
+    // share cache and memory bandwidth) but above 0.
+    let solo_ipc = |name: &str, base: u64| -> f64 {
+        let cache = PartitionedCache::new(
+            Box::new(SetAssociative::with_lines(TOTAL_LINES, 16, LineHash::new(4))),
+            Box::new(CoarseLru::new()),
+            cachesim::evict_max_futility(),
+            1,
+        );
+        let trace = benchmark(name)
+            .expect("profile")
+            .generate_with_base(60_000, 60 + base, base << 40);
+        let mut sys = System::new(
+            SystemConfig::micro2014(),
+            cache,
+            vec![Thread::new(name, trace)],
+        );
+        sys.run(0.3).threads[0].ipc()
+    };
+    let alone = [solo_ipc("gromacs", 0), solo_ipc("lbm", 1)];
+
+    let cache = PartitionedCache::new(
+        Box::new(SetAssociative::with_lines(TOTAL_LINES, 16, LineHash::new(4))),
+        Box::new(CoarseLru::new()),
+        cachesim::evict_max_futility(),
+        2,
+    );
+    let mut sys = System::new(
+        SystemConfig::micro2014(),
+        cache,
+        vec![
+            Thread::new(
+                "gromacs",
+                benchmark("gromacs").expect("profile").generate_with_base(60_000, 60, 0),
+            ),
+            Thread::new(
+                "lbm",
+                benchmark("lbm").expect("profile").generate_with_base(60_000, 61, 1 << 40),
+            ),
+        ],
+    );
+    let r = sys.run(0.3);
+    let shared: Vec<f64> = r.threads.iter().map(|t| t.ipc()).collect();
+    let ws = simqos::weighted_speedup(&shared, &alone);
+    assert!(ws > 0.5 && ws <= 2.0 + 1e-9, "weighted speedup {ws}");
+    // The subject suffers from sharing; enforcement is what Figure 7
+    // quantifies.
+    assert!(shared[0] <= alone[0] * 1.001);
+}
