@@ -1,0 +1,19 @@
+#!/bin/bash
+# Offline-safe CI gate: build, test, format, lint. The workspace has no
+# external dependencies, so every step works with the network disabled.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== cargo test -q =="
+cargo test -q --offline --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI OK"

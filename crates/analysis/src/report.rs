@@ -45,7 +45,12 @@ impl Table {
     }
 
     /// Append a row of formatted floats with the given precision.
-    pub fn row_mixed(&mut self, label: impl Into<String>, values: &[f64], precision: usize) -> &mut Self {
+    pub fn row_mixed(
+        &mut self,
+        label: impl Into<String>,
+        values: &[f64],
+        precision: usize,
+    ) -> &mut Self {
         let mut cells = vec![label.into()];
         cells.extend(values.iter().map(|v| format!("{v:.precision$}")));
         self.row(cells)
@@ -113,11 +118,7 @@ impl std::fmt::Display for Table {
 ///
 /// # Errors
 /// Propagates I/O errors from the writer.
-pub fn write_csv<W: io::Write>(
-    mut w: W,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_csv<W: io::Write>(mut w: W, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     writeln!(w, "{}", header.join(","))?;
     for row in rows {
         writeln!(w, "{}", row.join(","))?;

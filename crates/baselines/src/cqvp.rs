@@ -36,8 +36,7 @@ impl PartitionScheme for Cqvp {
         cands: &[Candidate],
         state: &PartitionState,
     ) -> VictimDecision {
-        let over_quota =
-            argmax_where(cands, |c| state.oversize(c.part.index()) > 0);
+        let over_quota = argmax_where(cands, |c| state.oversize(c.part.index()) > 0);
         let own = || argmax_where(cands, |c| c.part == incoming);
         let any = || argmax_where(cands, |_| true).expect("non-empty candidates");
         VictimDecision::evict(over_quota.or_else(own).unwrap_or_else(any))

@@ -14,9 +14,8 @@
 //! PriSM loses sizing control, which is exactly the failure mode the FS
 //! paper measures (>70% abnormality, 10–21% under target).
 
+use cachesim::prng::Prng;
 use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, VictimDecision};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// PriSM controller.
 #[derive(Clone, Debug)]
@@ -33,7 +32,7 @@ pub struct Prism {
     abnormalities: u64,
     /// Total victim selections.
     selections: u64,
-    rng: SmallRng,
+    rng: Prng,
 }
 
 impl Prism {
@@ -51,7 +50,7 @@ impl Prism {
             window_misses: 0,
             abnormalities: 0,
             selections: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
         }
     }
 
@@ -79,14 +78,14 @@ impl Prism {
         let n = state.targets.len();
         let total_ins: u64 = self.window_insertions.iter().sum();
         let mut probs = vec![0.0f64; n];
-        for i in 0..n {
+        for (i, prob) in probs.iter_mut().enumerate() {
             let ins_frac = if total_ins == 0 {
                 1.0 / n as f64
             } else {
                 self.window_insertions[i] as f64 / total_ins as f64
             };
             let size_err = state.oversize(i) as f64 / self.window as f64;
-            probs[i] = (ins_frac + size_err).max(0.0);
+            *prob = (ins_frac + size_err).max(0.0);
         }
         let sum: f64 = probs.iter().sum();
         if sum <= 0.0 {
@@ -102,7 +101,7 @@ impl Prism {
     }
 
     fn sample_partition(&mut self) -> usize {
-        let x: f64 = self.rng.gen();
+        let x = self.rng.next_f64();
         let mut acc = 0.0;
         for (i, &p) in self.evict_prob.iter().enumerate() {
             acc += p;

@@ -98,7 +98,7 @@ impl WayPartitioned {
         }
         let mut new_owner = Vec::with_capacity(self.ways);
         for (i, &w) in ways_of.iter().enumerate() {
-            new_owner.extend(std::iter::repeat(i as u16).take(w));
+            new_owner.extend(std::iter::repeat_n(i as u16, w));
         }
         debug_assert_eq!(new_owner.len(), self.ways);
         self.reassignments += self
@@ -188,7 +188,7 @@ mod tests {
     fn victims_come_from_own_ways_only() {
         let mut wp = WayPartitioned::new(4);
         wp.configure(&state(vec![100, 100])); // 2 ways each: owner [0,0,1,1]
-        // Slots: way = slot % 4. Candidate slots 0..4 of one set.
+                                              // Slots: way = slot % 4. Candidate slots 0..4 of one set.
         let cands = [
             cand(0, 0, 0.1),
             cand(1, 0, 0.9),

@@ -68,7 +68,12 @@ fn run(kind: &str, insertions: u64) -> Point {
 
 fn main() {
     let insertions = fs_bench::scaled(80_000) as u64;
-    let kinds = ["random-r16", "set-assoc-16w", "skew-assoc-16w", "zcache-z4-r16"];
+    let kinds = [
+        "random-r16",
+        "set-assoc-16w",
+        "skew-assoc-16w",
+        "zcache-z4-r16",
+    ];
     let mut t = Table::new(vec![
         "array".into(),
         "P1 occupancy/target".into(),

@@ -31,7 +31,9 @@ fn run(ranking: &str, len: usize) -> Point {
     let t0 = LINES * 5 / 8;
     cache.set_targets(&[t0, LINES - t0]);
     let traces = vec![
-        benchmark("mcf").expect("profile").generate_with_base(len, 41, 0),
+        benchmark("mcf")
+            .expect("profile")
+            .generate_with_base(len, 41, 0),
         benchmark("omnetpp")
             .expect("profile")
             .generate_with_base(len, 42, 1 << 40),

@@ -119,5 +119,9 @@ fn main() {
             csv.push(vec![name.to_string(), w.to_string(), format!("{m:.4}")]);
         }
     }
-    fs_bench::save_csv("ablation_resize", &["scheme", "window", "p1_miss_ratio"], &csv);
+    fs_bench::save_csv(
+        "ablation_resize",
+        &["scheme", "window", "p1_miss_ratio"],
+        &csv,
+    );
 }

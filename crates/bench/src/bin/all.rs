@@ -1,0 +1,51 @@
+//! Regenerate every figure and table of the paper in one parallel run:
+//!
+//! ```text
+//! cargo run --release -p fs-bench --bin all -- [--quick|--smoke] [--jobs N] [--no-report]
+//! ```
+//!
+//! All sweep points from all nine experiments are thrown into one
+//! worker pool, so wide experiments (Figure 6's 84 points) overlap with
+//! narrow ones. Per-point seeds derive from the experiment name and
+//! point index — the CSVs under `results/` are byte-identical for any
+//! `--jobs` value.
+
+use fs_bench::experiments;
+use fs_bench::Scale;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let jobs = fs_bench::cli_jobs();
+    let report = !std::env::args().any(|a| a == "--no-report");
+    let exps = experiments::all();
+    let t0 = Instant::now();
+    let summaries =
+        experiments::run_experiments(&exps, scale, jobs, &fs_bench::results_dir(), true, report);
+    let elapsed = t0.elapsed();
+
+    println!("## Sweep summary ({scale:?} scale, {jobs} jobs)");
+    let mut total_jobs = 0;
+    let mut total_work = std::time::Duration::ZERO;
+    for s in &summaries {
+        total_jobs += s.jobs;
+        total_work += s.work;
+        let miss = s
+            .mean_miss_rate
+            .map_or(String::new(), |m| format!("  mean miss rate {m:.3}"));
+        println!(
+            "{:>7}  {:>3} points  {:>6.1}s work  {} rows -> {}{miss}",
+            s.name,
+            s.jobs,
+            s.work.as_secs_f64(),
+            s.rows,
+            s.csv_path.display(),
+        );
+    }
+    println!(
+        "{total_jobs} points, {:.1}s of work in {:.1}s wall ({:.1}x speedup)",
+        total_work.as_secs_f64(),
+        elapsed.as_secs_f64(),
+        total_work.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+    );
+}

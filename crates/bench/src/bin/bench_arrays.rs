@@ -1,0 +1,81 @@
+//! Micro-benchmarks of candidate generation and the full evict+install
+//! cycle per cache-array organization (set-associative, skew-associative,
+//! zcache with relocation, random-candidates). Run in release mode.
+
+use cachesim::array::{CacheArray, RandomCandidates, SetAssociative, SkewAssociative, ZCache};
+use cachesim::hashing::LineHash;
+use cachesim::prng::Prng;
+use cachesim::PartitionId;
+use fs_bench::timing::{black_box, Group};
+
+const LINES: usize = 16_384;
+
+fn fill(array: &mut dyn CacheArray, seed: u64) {
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..LINES * 8 {
+        let addr: u64 = rng.gen_range(0..1 << 24);
+        if array.lookup(addr).is_some() {
+            continue;
+        }
+        out.clear();
+        array.candidate_slots(addr, &mut out);
+        if let Some(&slot) = out.iter().find(|&&s| array.occupant(s).is_none()) {
+            array.install(slot, addr, PartitionId(0));
+        }
+    }
+}
+
+fn arrays() -> Vec<(&'static str, Box<dyn CacheArray>)> {
+    vec![
+        (
+            "set_assoc_16w",
+            Box::new(SetAssociative::with_lines(LINES, 16, LineHash::new(1))),
+        ),
+        (
+            "skew_assoc_16w",
+            Box::new(SkewAssociative::new(LINES / 16, 16, 2)),
+        ),
+        ("zcache_4w_r16", Box::new(ZCache::new(LINES / 4, 4, 16, 3))),
+        ("random_r16", Box::new(RandomCandidates::new(LINES, 16, 4))),
+    ]
+}
+
+fn main() {
+    let mut group = Group::new("candidate_generation");
+    for (name, mut array) in arrays() {
+        fill(array.as_mut(), 9);
+        let mut rng = Prng::seed_from_u64(5);
+        let mut out = Vec::with_capacity(32);
+        group.bench(name, || {
+            let addr: u64 = rng.gen_range(0..1 << 24);
+            out.clear();
+            array.candidate_slots(addr, &mut out);
+            black_box(out.len());
+        });
+    }
+    group.finish();
+
+    // Full evict+install cycle, including zcache relocation chains.
+    let mut group = Group::new("evict_install_cycle");
+    for (name, mut array) in arrays() {
+        fill(array.as_mut(), 11);
+        let mut rng = Prng::seed_from_u64(6);
+        let mut out = Vec::with_capacity(32);
+        group.bench(name, || {
+            let addr: u64 = rng.gen_range(0..1 << 24);
+            if array.lookup(addr).is_some() {
+                return;
+            }
+            out.clear();
+            array.candidate_slots(addr, &mut out);
+            // Evict the deepest candidate to exercise relocation.
+            let victim = *out.last().expect("candidates");
+            if array.occupant(victim).is_some() {
+                array.evict(victim);
+            }
+            array.install(victim, addr, PartitionId(0));
+        });
+    }
+    group.finish();
+}

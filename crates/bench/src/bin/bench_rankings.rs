@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the futility rankings: update cost
+//! (insert/hit/evict) and rank-query cost at realistic pool sizes.
+//! The coarse-grain timestamp LRU is the paper's O(1) hardware design;
+//! the exact rankings pay an O(log n) order-statistic query.
+
+use cachesim::prng::Prng;
+use cachesim::{AccessMeta, FutilityRanking, PartitionId};
+use fs_bench::timing::{black_box, Group};
+
+const POOL: u64 = 16_384;
+const P: PartitionId = PartitionId(0);
+
+fn filled(name: &str) -> Box<dyn FutilityRanking> {
+    let mut r = fs_bench::futility_ranking(name);
+    r.reset(1);
+    for i in 0..POOL {
+        r.on_insert(P, i, i, AccessMeta::with_next_use(i * 3));
+    }
+    r
+}
+
+fn main() {
+    let mut group = Group::new("ranking_hit_update");
+    for name in ["coarse-lru", "lru", "lfu", "opt", "random"] {
+        let mut r = filled(name);
+        let mut rng = Prng::seed_from_u64(1);
+        let mut t = POOL;
+        group.bench(name, || {
+            t += 1;
+            let addr = rng.gen_range(0..POOL);
+            r.on_hit(P, addr, t, AccessMeta::with_next_use(t * 3));
+        });
+    }
+    group.finish();
+
+    let mut group = Group::new("ranking_futility_query");
+    for name in ["coarse-lru", "lru", "lfu", "opt", "random"] {
+        let r = filled(name);
+        let mut rng = Prng::seed_from_u64(2);
+        group.bench(name, || {
+            let addr = rng.gen_range(0..POOL);
+            black_box(r.futility(P, addr));
+        });
+    }
+    group.finish();
+
+    // Insert+evict pairs: the miss-path bookkeeping.
+    let mut group = Group::new("ranking_insert_evict");
+    for name in ["coarse-lru", "lru", "opt"] {
+        let mut r = filled(name);
+        let mut t = POOL;
+        let mut victim = 0u64;
+        group.bench(name, || {
+            t += 1;
+            r.on_evict(P, victim);
+            r.on_insert(P, POOL + t, t, AccessMeta::with_next_use(t * 3));
+            victim += 1;
+        });
+    }
+    group.finish();
+}

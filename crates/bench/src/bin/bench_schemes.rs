@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the replacement path per enforcement scheme:
+//! end-to-end cache accesses (lookup + victim selection + bookkeeping)
+//! on a full 16-way hashed cache with 8 partitions.
+//!
+//! This quantifies the paper's hardware-cost claim from the simulator's
+//! perspective: FS's victim selection is `3R−1` simple operations, so
+//! feedback-FS should cost about the same as PF/unpartitioned on the
+//! simulated replacement path, with Vantage slightly heavier (demotion
+//! retags) and PriSM adding the sampling step.
+
+use cachesim::prng::Prng;
+use cachesim::{AccessMeta, PartitionId, PartitionedCache};
+use fs_bench::timing::{black_box, Group};
+
+const LINES: usize = 16_384; // 1MB
+const PARTS: usize = 8;
+
+fn make_cache(scheme: &str, ranking: &str) -> PartitionedCache {
+    let mut cache = PartitionedCache::new(
+        fs_bench::l2_array(LINES, 7),
+        fs_bench::futility_ranking(ranking),
+        fs_bench::scheme(scheme),
+        PARTS,
+    );
+    // Disable sampling overheads irrelevant to the hot path.
+    cache.stats_mut().sample_deviation = false;
+    // Pre-fill so every miss evicts.
+    let mut rng = Prng::seed_from_u64(1);
+    for i in 0..(LINES as u64 * 4) {
+        let part = PartitionId((i % PARTS as u64) as u16);
+        let addr: u64 = rng.gen_range(0..60_000);
+        cache.access(part, addr, AccessMeta::default());
+    }
+    cache
+}
+
+fn main() {
+    let mut group = Group::new("replacement_path");
+    for scheme in [
+        "unpartitioned",
+        "pf",
+        "cqvp",
+        "fs-feedback",
+        "vantage",
+        "prism",
+    ] {
+        let mut cache = make_cache(scheme, "coarse-lru");
+        let mut rng = Prng::seed_from_u64(2);
+        group.bench(scheme, || {
+            let part = PartitionId(rng.gen_range(0..PARTS as u16));
+            let addr: u64 = rng.gen_range(0..60_000);
+            black_box(cache.access(part, addr, AccessMeta::default()));
+        });
+    }
+    group.finish();
+
+    // How much of the cost is the futility ranking vs the scheme: run
+    // feedback-FS over the O(1) coarse ranking and over the exact
+    // treap-backed rankings.
+    let mut group = Group::new("fs_by_ranking");
+    for ranking in ["coarse-lru", "lru", "lfu", "random"] {
+        let mut cache = make_cache("fs-feedback", ranking);
+        let mut rng = Prng::seed_from_u64(3);
+        group.bench(ranking, || {
+            let part = PartitionId(rng.gen_range(0..PARTS as u16));
+            let addr: u64 = rng.gen_range(0..60_000);
+            black_box(cache.access(part, addr, AccessMeta::default()));
+        });
+    }
+    group.finish();
+}

@@ -1,94 +1,6 @@
-//! Figure 1: the associativity-and-sizing dilemma of replacement-based
-//! partitioning, reconstructed as a runnable demonstration.
-//!
-//! A 10-line cache is split equally between two partitions, but their
-//! current sizes are 4 and 6. An insertion for Partition 2 draws two
-//! replacement candidates: the *least* useful line of Partition 1 and
-//! the *most* useful line of Partition 2. PF must pick the oversized
-//! partition's most-useful line (hurting associativity); a pure
-//! max-futility policy must pick Partition 1's line (hurting sizing);
-//! FS weighs the scaled futilities and resolves the dilemma smoothly.
-
-use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState};
-use futility_core::FsAnalytic;
+//! Figure 1, regenerated standalone; see `fs_bench::experiments::fig1`
+//! for the experiment definition and `--bin all` for the full sweep.
 
 fn main() {
-    let mut state = PartitionState::new(2, 10);
-    state.targets = vec![5, 5];
-    state.actual = vec![4, 6];
-
-    // Candidate 0: partition 1's least useful line (futility 1.0).
-    // Candidate 1: partition 2's most useful line (futility 1/6).
-    let cands = [
-        Candidate {
-            slot: 0,
-            addr: 0xA,
-            part: PartitionId(0),
-            futility: 1.0,
-        },
-        Candidate {
-            slot: 1,
-            addr: 0xB,
-            part: PartitionId(1),
-            futility: 1.0 / 6.0,
-        },
-    ];
-
-    println!("Figure 1 — the associativity/sizing dilemma");
-    println!("cache: 10 lines, equal targets (5/5), actual sizes 4/6");
-    println!("candidates: P1's least useful line (f=1.00) vs P2's most useful (f=0.17)\n");
-
-    let mut pf = fs_bench::scheme("pf");
-    let v = pf.victim(PartitionId(1), &cands, &state).victim;
-    println!(
-        "PF evicts candidate {v} ({}) — sizing first, associativity sacrificed",
-        name(v)
-    );
-    assert_eq!(v, 1, "PF must take the oversized partition's line");
-
-    let mut unpart = fs_bench::scheme("unpartitioned");
-    let v = unpart.victim(PartitionId(1), &cands, &state).victim;
-    println!(
-        "max-futility evicts candidate {v} ({}) — associativity first, sizes drift",
-        name(v)
-    );
-    assert_eq!(v, 0);
-
-    // FS with a modest scaling factor on the oversized partition: the
-    // dilemma dissolves — P1's genuinely useless line still loses...
-    let mut fs = FsAnalytic::with_alphas(vec![1.0, 2.0]);
-    let v = fs.victim(PartitionId(1), &cands, &state).victim;
-    println!(
-        "FS (α₂=2) evicts candidate {v} ({}) — scaled futility 1.00 vs 0.33",
-        name(v)
-    );
-    assert_eq!(v, 0);
-
-    // ...but once P2's candidate is merely mediocre, the scaling tips
-    // the decision toward restoring the sizes.
-    let cands2 = [
-        Candidate {
-            futility: 0.45,
-            ..cands[0]
-        },
-        Candidate {
-            futility: 0.50,
-            ..cands[1]
-        },
-    ];
-    let v = fs.victim(PartitionId(1), &cands2, &state).victim;
-    println!(
-        "FS (α₂=2) with f = 0.45 vs 0.50 evicts candidate {v} ({}) — scaled 0.45 vs 1.00",
-        name(v)
-    );
-    assert_eq!(v, 1);
-    println!("\nFS trades a small temporal size deviation for preserved associativity (§IV-E).");
-}
-
-fn name(v: usize) -> &'static str {
-    if v == 0 {
-        "P1's least useful"
-    } else {
-        "P2's most useful"
-    }
+    fs_bench::experiments::run_single_from_cli(&fs_bench::experiments::FIG1);
 }

@@ -1,136 +1,6 @@
-//! Figure 2: partitioning-induced associativity loss under the
-//! Partitioning-First scheme. Workloads duplicate one benchmark N times
-//! (N = 1, 2, 4, 8, 16, 32) on a 16-way set-associative cache with
-//! 512KB per partition, OPT futility ranking; PF enforcement.
-//!
-//! * Fig. 2a — associativity CDF / AEF of the first partition (mcf):
-//!   AEF decays from ~0.95 at N=1 toward the 0.5 random floor by N=32.
-//! * Fig. 2b — misses of the first partition (normalized to N=1):
-//!   grows with N; mcf worst (~+37% at N=32), lbm flat.
-//! * Fig. 2c — IPC of the first partition (normalized to N=1): drops
-//!   with N; mcf worst (~−24%), lbm flat.
-
-use analysis::Table;
-use cachesim::{PartitionId, PartitionedCache};
-use simqos::{System, SystemConfig, Thread};
-use workloads::{benchmark, ALL_BENCHMARKS};
-
-const PARTITION_LINES: usize = 8192; // 512KB
-const NS: [usize; 6] = [1, 2, 4, 8, 16, 32];
-
-struct Point {
-    n: usize,
-    misses: u64,
-    ipc: f64,
-    aef: f64,
-    cdf: Vec<(f64, f64)>,
-}
-
-fn run_one(bench: &str, n: usize, trace_len: usize) -> Point {
-    let profile = benchmark(bench).expect("known benchmark");
-    let lines = PARTITION_LINES * n;
-    let cache = PartitionedCache::new(
-        fs_bench::l2_array(lines, 0xF16_2 + n as u64),
-        fs_bench::futility_ranking("opt"),
-        fs_bench::scheme("pf"),
-        n,
-    );
-    let threads: Vec<Thread> = (0..n)
-        .map(|i| {
-            Thread::new(
-                format!("{bench}#{i}"),
-                profile.generate_with_base(trace_len, 1000 + i as u64 * 2, (i as u64) << 40),
-            )
-        })
-        .collect();
-    let mut sys = System::new(SystemConfig::micro2014(), cache, threads);
-    // Targets default to the equal share (512KB each).
-    let result = sys.run(0.3);
-    let p0 = sys.cache().stats().partition(PartitionId(0));
-    Point {
-        n,
-        misses: p0.misses,
-        ipc: result.threads[0].ipc(),
-        aef: p0.aef(),
-        cdf: analysis::downsample_cdf(&p0.associativity_cdf(), 10),
-    }
-}
+//! Figure 2, regenerated standalone; see `fs_bench::experiments::fig2`
+//! for the experiment definition and `--bin all` for the full sweep.
 
 fn main() {
-    let trace_len = fs_bench::scaled(40_000);
-    let results: Vec<(String, Vec<Point>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = ALL_BENCHMARKS
-            .iter()
-            .map(|&bench| {
-                s.spawn(move || {
-                    let pts = NS.iter().map(|&n| run_one(bench, n, trace_len)).collect();
-                    (bench.to_string(), pts)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    });
-
-    // Fig 2a: associativity CDF of the first partition for mcf.
-    println!("## Figure 2a — associativity CDF of partition 0 (mcf, PF, OPT ranking)");
-    let mcf = &results.iter().find(|(b, _)| b == "mcf").expect("mcf ran").1;
-    for p in mcf.iter() {
-        let series: Vec<String> = p
-            .cdf
-            .iter()
-            .map(|(x, y)| format!("{x:.1}:{y:.2}"))
-            .collect();
-        println!("N={:>2}  AEF={:.2}  CDF {}", p.n, p.aef, series.join(" "));
-    }
-    println!(
-        "Paper anchors: AEF 0.95 (N=1) -> 0.82 -> 0.74 -> 0.66 -> 0.60 -> 0.56 (N=32),\n\
-         approaching the futility-blind diagonal F(x) = x.\n"
-    );
-
-    // Fig 2b/2c: misses and IPC of the first partition, normalized.
-    let mut tb = Table::new(
-        std::iter::once("benchmark".to_string())
-            .chain(NS.iter().map(|n| format!("N={n}")))
-            .collect(),
-    )
-    .with_title("Figure 2b — misses of partition 0 (normalized to N=1)");
-    let mut tc = Table::new(
-        std::iter::once("benchmark".to_string())
-            .chain(NS.iter().map(|n| format!("N={n}")))
-            .collect(),
-    )
-    .with_title("Figure 2c — IPC of partition 0 (normalized to N=1)");
-    let mut csv = Vec::new();
-    for (bench, pts) in &results {
-        let m1 = pts[0].misses.max(1) as f64;
-        let i1 = pts[0].ipc;
-        let miss_norm: Vec<f64> = pts.iter().map(|p| p.misses as f64 / m1).collect();
-        let ipc_norm: Vec<f64> = pts.iter().map(|p| p.ipc / i1).collect();
-        tb.row_mixed(bench.clone(), &miss_norm, 3);
-        tc.row_mixed(bench.clone(), &ipc_norm, 3);
-        for (k, p) in pts.iter().enumerate() {
-            csv.push(vec![
-                bench.clone(),
-                p.n.to_string(),
-                format!("{:.4}", p.aef),
-                format!("{:.4}", miss_norm[k]),
-                format!("{:.4}", ipc_norm[k]),
-            ]);
-        }
-    }
-    println!("{tb}");
-    println!(
-        "Paper anchors: misses grow with N for reuse-heavy benchmarks (mcf ~1.37x\n\
-         at N=32) and stay ~flat for streaming lbm.\n"
-    );
-    println!("{tc}");
-    println!(
-        "Paper anchors: IPC decays with N for associativity-sensitive benchmarks\n\
-         (mcf ~0.76x at N=32); lbm is insensitive. PF does not scale with N."
-    );
-    fs_bench::save_csv(
-        "fig2_pf_degradation",
-        &["benchmark", "N", "aef_p0", "misses_norm", "ipc_norm"],
-        &csv,
-    );
+    fs_bench::experiments::run_single_from_cli(&fs_bench::experiments::FIG2);
 }

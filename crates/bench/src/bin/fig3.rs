@@ -1,65 +1,6 @@
-//! Figure 3: analytically calculated scaling factors of Partition 2
-//! (α₂) for insertion rates I₂ ∈ {0.6, 0.7, 0.8, 0.9} and size
-//! fractions S₂ ∈ [0.2, 0.4], with R = 16 candidates (Equation 1).
-//! Also demonstrates the `I₁ < S₁^R` partitioning bound shared by all
-//! replacement-based schemes (Section IV-B).
-
-use analysis::Table;
-use futility_core::scaling::{alpha_two_partitions, ScalingError};
+//! Figure 3, regenerated standalone; see `fs_bench::experiments::fig3`
+//! for the experiment definition and `--bin all` for the full sweep.
 
 fn main() {
-    const R: usize = 16;
-    let s2_values: Vec<f64> = (0..=8).map(|k| 0.20 + 0.025 * k as f64).collect();
-    let i2_values = [0.6, 0.7, 0.8, 0.9];
-
-    let mut header = vec!["S2".to_string()];
-    header.extend(i2_values.iter().map(|i2| format!("a2 @ I2={i2}")));
-    let mut table = Table::new(header).with_title(
-        "Figure 3 — scaling factor of Partition 2 vs its size fraction (R = 16)",
-    );
-    let mut rows_csv = Vec::new();
-    for &s2 in &s2_values {
-        let alphas: Vec<f64> = i2_values
-            .iter()
-            .map(|&i2| {
-                alpha_two_partitions(1.0 - i2, 1.0 - s2, R)
-                    .expect("all Figure 3 points are feasible")
-            })
-            .collect();
-        table.row_mixed(format!("{s2:.3}"), &alphas, 3);
-        let mut row = vec![format!("{s2:.3}")];
-        row.extend(alphas.iter().map(|a| format!("{a:.4}")));
-        rows_csv.push(row);
-    }
-    println!("{table}");
-    println!(
-        "Paper anchors: the I2=0.9 curve starts near 2.8–3.0 at S2=0.2 and all\n\
-         curves decay toward 1.0 as S2 grows; larger I2 ⇒ larger α2 throughout.\n"
-    );
-
-    // The partitioning bound: I1 <= S1^R is unenforceable.
-    let s1 = 0.8f64;
-    let bound = s1.powi(R as i32);
-    println!("## Partitioning bound (Section IV-B)");
-    println!("S1 = {s1}, R = {R}: bound S1^R = {bound:.3e}");
-    for i1 in [bound * 0.5, bound * 1.5, 0.01] {
-        match alpha_two_partitions(i1, s1, R) {
-            Ok(a) => println!("  I1 = {i1:.3e} -> feasible, alpha2 = {a:.3}"),
-            Err(ScalingError::Infeasible { .. }) => {
-                println!("  I1 = {i1:.3e} -> INFEASIBLE (below the bound)")
-            }
-            Err(e) => println!("  I1 = {i1:.3e} -> error: {e}"),
-        }
-    }
-    println!(
-        "\nPaper anchor: with R = 16, a partition with I = 0.01 can still occupy\n\
-         ~75% of the cache; 0.01 > 0.75^16 = {:.2e} confirms feasibility.",
-        0.75f64.powi(16)
-    );
-
-    fs_bench::save_csv(
-        "fig3_scaling_factors",
-        &["s2", "a2_i2_0.6", "a2_i2_0.7", "a2_i2_0.8", "a2_i2_0.9"],
-        &rows_csv,
-    );
+    fs_bench::experiments::run_single_from_cli(&fs_bench::experiments::FIG3);
 }

@@ -1,116 +1,6 @@
-//! Figure 4: associativity CDFs of FS vs PF for size ratios
-//! S1/S2 = 9/1 and 6/4 at equal insertion rates (I1 = I2 = 0.5), on the
-//! Section IV substrate: two mcf threads on a 2MB random-candidates
-//! cache with R = 16, insertion rates enforced by the rate-controlled
-//! driver.
-//!
-//! Paper anchors: PF's small partition degrades badly (AEF 0.86 → 0.63
-//! as its share shrinks 0.4 → 0.1); FS keeps Partition 1 (α = 1) at its
-//! full associativity and only mildly degrades the scaled partition
-//! (AEF 0.94 → 0.89).
-
-use analysis::{downsample_cdf, Table};
-use cachesim::{PartitionId, PartitionedCache};
-use futility_core::scaling::alpha_two_partitions;
-use futility_core::FsAnalytic;
-use workloads::{benchmark, RateControlledDriver};
-
-struct Outcome {
-    label: String,
-    aef: [f64; 2],
-    cdf0: Vec<(f64, f64)>,
-    cdf1: Vec<(f64, f64)>,
-}
-
-fn run(scheme_name: &str, s1: f64, insertions: u64, seed: u64) -> Outcome {
-    const R: usize = 16;
-    let lines = fs_bench::lines_of_kb(2048); // 2MB
-    let mcf = benchmark("mcf").unwrap();
-    let warmup = (lines * 6) as u64;
-    let trace_len = ((warmup + insertions) as usize) * 5;
-    let traces = vec![
-        mcf.generate_with_base(trace_len, seed, 0),
-        mcf.generate_with_base(trace_len, seed + 1, 1 << 40),
-    ];
-    let scheme: Box<dyn cachesim::PartitionScheme> = match scheme_name {
-        "fs" => {
-            let a2 = alpha_two_partitions(0.5, s1, R).expect("feasible");
-            Box::new(FsAnalytic::with_alphas(vec![1.0, a2]))
-        }
-        other => fs_bench::scheme(other),
-    };
-    let mut cache = PartitionedCache::new(
-        fs_bench::random_array(lines, R, seed),
-        fs_bench::futility_ranking("lru"),
-        scheme,
-        2,
-    );
-    let t0 = (lines as f64 * s1) as usize;
-    cache.set_targets(&[t0, lines - t0]);
-
-    let mut driver = RateControlledDriver::new(traces, vec![0.5, 0.5], seed ^ 0xF1);
-    // Warm up (fill the cache and let sizes converge), then measure.
-    driver.run(&mut cache, warmup);
-    cache.stats_mut().reset();
-    driver.run(&mut cache, insertions);
-
-    let p0 = cache.stats().partition(PartitionId(0));
-    let p1 = cache.stats().partition(PartitionId(1));
-    Outcome {
-        label: format!("{scheme_name}(S1={s1})"),
-        aef: [p0.aef(), p1.aef()],
-        cdf0: downsample_cdf(&p0.associativity_cdf(), 20),
-        cdf1: downsample_cdf(&p1.associativity_cdf(), 20),
-    }
-}
+//! Figure 4, regenerated standalone; see `fs_bench::experiments::fig4`
+//! for the experiment definition and `--bin all` for the full sweep.
 
 fn main() {
-    let insertions = fs_bench::scaled(150_000) as u64;
-    let mut outcomes = Vec::new();
-    for &s1 in &[0.9, 0.6] {
-        for scheme in ["fs", "pf"] {
-            outcomes.push(run(scheme, s1, insertions, 42));
-        }
-    }
-
-    let mut table = Table::new(vec![
-        "config".into(),
-        "AEF P1 (large)".into(),
-        "AEF P2 (small)".into(),
-    ])
-    .with_title("Figure 4 — average eviction futility, FS vs PF (I1/I2 = 1)");
-    for o in &outcomes {
-        table.row(vec![
-            o.label.clone(),
-            fs_bench::fmt3(o.aef[0]),
-            fs_bench::fmt3(o.aef[1]),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "Paper anchors: FS P1 stays ~constant and high for both splits; FS P2\n\
-         degrades only mildly as S2 shrinks (0.94 -> 0.89). PF degrades with\n\
-         partition size (P2: 0.86 -> 0.63). FS > PF everywhere.\n"
-    );
-
-    println!("## Associativity CDFs (eviction futility -> cumulative probability)");
-    let mut csv = Vec::new();
-    for o in &outcomes {
-        println!("{} P1: {}", o.label, fmt_cdf(&o.cdf0));
-        println!("{} P2: {}", o.label, fmt_cdf(&o.cdf1));
-        for (x, y) in &o.cdf0 {
-            csv.push(vec![o.label.clone(), "P1".into(), format!("{x:.3}"), format!("{y:.4}")]);
-        }
-        for (x, y) in &o.cdf1 {
-            csv.push(vec![o.label.clone(), "P2".into(), format!("{x:.3}"), format!("{y:.4}")]);
-        }
-    }
-    fs_bench::save_csv("fig4_assoc_cdf", &["config", "partition", "futility", "cdf"], &csv);
-}
-
-fn fmt_cdf(cdf: &[(f64, f64)]) -> String {
-    cdf.iter()
-        .map(|(x, y)| format!("{x:.2}:{y:.2}"))
-        .collect::<Vec<_>>()
-        .join(" ")
+    fs_bench::experiments::run_single_from_cli(&fs_bench::experiments::FIG4);
 }

@@ -1,127 +1,6 @@
-//! Figure 5: cumulative distributions of Partition 1's size deviation
-//! from its target under FS and PF, for insertion splits I1/I2 = 9/1
-//! and 5/5, equal targets (S1/S2 = 1), on the 2MB random-candidates
-//! cache with R = 16. Samples are taken at every eviction.
-//!
-//! Paper anchors: PF is near-ideal (MAD < 1 line). FS deviates
-//! temporally but stays statistically on target; the worst case is
-//! I1 = 0.5 (maximum random-walk variance I1(1−I1)), with MAD ≈ 67
-//! lines ≈ 0.4% of a 16K-line partition. MAD(I1=0.1) < MAD(I1=0.5).
-
-use analysis::Table;
-use cachesim::{PartitionId, PartitionedCache};
-use futility_core::scaling::alpha_two_partitions;
-use futility_core::FsAnalytic;
-use workloads::{benchmark, RateControlledDriver};
-
-struct Outcome {
-    label: String,
-    mad: f64,
-    mean_dev: f64,
-    cdf: Vec<(i64, f64)>,
-}
-
-fn run(scheme_name: &str, i1: f64, insertions: u64, seed: u64) -> Outcome {
-    const R: usize = 16;
-    let lines = fs_bench::lines_of_kb(2048);
-    let mcf = benchmark("mcf").unwrap();
-    let warmup = (lines * 22) as u64;
-    let trace_len = ((warmup + insertions) as usize) * 5;
-    let traces = vec![
-        mcf.generate_with_base(trace_len, seed, 0),
-        mcf.generate_with_base(trace_len, seed + 1, 1 << 40),
-    ];
-    let scheme: Box<dyn cachesim::PartitionScheme> = match scheme_name {
-        "fs" => {
-            let a2 = alpha_two_partitions(i1, 0.5, R).expect("feasible");
-            Box::new(FsAnalytic::with_alphas(vec![1.0, a2]))
-        }
-        other => fs_bench::scheme(other),
-    };
-    let mut cache = PartitionedCache::new(
-        fs_bench::random_array(lines, R, seed),
-        fs_bench::futility_ranking("lru"),
-        scheme,
-        2,
-    );
-    cache.set_targets(&[lines / 2, lines / 2]);
-    cache.stats_mut().deviation_histogram = true;
-
-    let mut driver = RateControlledDriver::new(traces, vec![i1, 1.0 - i1], seed ^ 0xF5);
-    driver.run(&mut cache, warmup);
-    cache.stats_mut().reset();
-    driver.run(&mut cache, insertions);
-
-    let p0 = cache.stats().partition(PartitionId(0));
-    Outcome {
-        label: format!("{scheme_name}(I1={i1})"),
-        mad: p0.size_mad(),
-        mean_dev: {
-            let total: u64 = p0.size_dev_hist.values().sum();
-            let sum: i64 = p0
-                .size_dev_hist
-                .iter()
-                .map(|(&d, &n)| d * n as i64)
-                .sum();
-            if total == 0 {
-                f64::NAN
-            } else {
-                sum as f64 / total as f64
-            }
-        },
-        cdf: p0.size_deviation_cdf(),
-    }
-}
+//! Figure 5, regenerated standalone; see `fs_bench::experiments::fig5`
+//! for the experiment definition and `--bin all` for the full sweep.
 
 fn main() {
-    let insertions = fs_bench::scaled(150_000) as u64;
-    let mut outcomes = Vec::new();
-    for scheme in ["fs", "pf"] {
-        for &i1 in &[0.1, 0.5] {
-            outcomes.push(run(scheme, i1, insertions, 7));
-        }
-    }
-
-    let mut table = Table::new(vec![
-        "config".into(),
-        "MAD (lines)".into(),
-        "mean dev (lines)".into(),
-        "P(|dev| <= 64)".into(),
-    ])
-    .with_title("Figure 5 — Partition 1 size deviation from target (S1/S2 = 1, 32K-line cache)");
-    let mut csv = Vec::new();
-    for o in &outcomes {
-        let within = prob_within(&o.cdf, 64);
-        table.row(vec![
-            o.label.clone(),
-            format!("{:.1}", o.mad),
-            format!("{:.1}", o.mean_dev),
-            format!("{within:.3}"),
-        ]);
-        for &(d, p) in &o.cdf {
-            csv.push(vec![o.label.clone(), d.to_string(), format!("{p:.5}")]);
-        }
-    }
-    println!("{table}");
-    println!(
-        "Paper anchors: PF MAD < 1 line for both splits. FS mean deviation ~0\n\
-         (statistically on target); MAD(I1=0.1) < MAD(I1=0.5) ~ 60-70 lines,\n\
-         i.e. < 0.5% of the 16K-line partition even in the worst case."
-    );
-    fs_bench::save_csv("fig5_size_deviation", &["config", "deviation", "cdf"], &csv);
-}
-
-/// P(|dev| <= w) from a deviation CDF.
-fn prob_within(cdf: &[(i64, f64)], w: i64) -> f64 {
-    let mut below = 0.0; // P(dev < -w)
-    let mut upto = 0.0; // P(dev <= w)
-    for &(d, p) in cdf {
-        if d < -w {
-            below = p;
-        }
-        if d <= w {
-            upto = p;
-        }
-    }
-    upto - below
+    fs_bench::experiments::run_single_from_cli(&fs_bench::experiments::FIG5);
 }

@@ -1,109 +1,6 @@
-//! Figure 6: associativity sensitivity of applications — speedup of a
-//! fully-associative cache over a direct-mapped cache of the same size,
-//! for sizes 128KB–8MB, under (a) OPT and (b) LRU futility ranking.
-//!
-//! Paper anchors: under OPT, mcf speeds up ≥25% at every size while lbm
-//! is flat; gromacs is sensitive only below ~1MB. Under LRU the
-//! sensitivities shrink dramatically, and cactusADM *loses* performance
-//! with full associativity around 4MB (LRU evicts exactly the wrong
-//! lines on a cyclic sweep).
-
-use analysis::Table;
-use cachesim::array::SetAssociative;
-use cachesim::hashing::ModuloIndex;
-use cachesim::PartitionedCache;
-use simqos::{System, SystemConfig, Thread};
-use workloads::benchmark;
-
-const BENCHES: [&str; 6] = ["mcf", "omnetpp", "gromacs", "astar", "cactusadm", "lbm"];
-const SIZES_KB: [usize; 7] = [128, 256, 512, 1024, 2048, 4096, 8192];
-
-fn ipc(bench: &str, lines: usize, ranking: &str, fully_assoc: bool, trace_len: usize) -> f64 {
-    let array: Box<dyn cachesim::array::CacheArray> = if fully_assoc {
-        fs_bench::fa_array(lines)
-    } else {
-        // Conventional direct-mapped cache: low address bits index.
-        Box::new(SetAssociative::new(lines, 1, ModuloIndex))
-    };
-    let cache = PartitionedCache::new(
-        array,
-        fs_bench::futility_ranking(ranking),
-        fs_bench::scheme("unpartitioned"),
-        1,
-    );
-    let trace = benchmark(bench)
-        .expect("known benchmark")
-        .generate(trace_len, 0xF16_6);
-    let mut sys = System::new(
-        SystemConfig::micro2014(),
-        cache,
-        vec![Thread::new(bench, trace)],
-    );
-    sys.run(0.3).threads[0].ipc()
-}
+//! Figure 6, regenerated standalone; see `fs_bench::experiments::fig6`
+//! for the experiment definition and `--bin all` for the full sweep.
 
 fn main() {
-    let trace_len = fs_bench::scaled(150_000);
-    // (bench, ranking) -> speedups per size.
-    let results: Vec<(String, String, Vec<f64>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = BENCHES
-            .iter()
-            .flat_map(|&bench| {
-                ["opt", "lru"].into_iter().map(move |rank| (bench, rank))
-            })
-            .map(|(bench, rank)| {
-                s.spawn(move || {
-                    let speedups = SIZES_KB
-                        .iter()
-                        .map(|&kb| {
-                            let lines = fs_bench::lines_of_kb(kb);
-                            let fa = ipc(bench, lines, rank, true, trace_len);
-                            let dm = ipc(bench, lines, rank, false, trace_len);
-                            fa / dm
-                        })
-                        .collect();
-                    (bench.to_string(), rank.to_string(), speedups)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    });
-
-    let mut csv = Vec::new();
-    for rank in ["opt", "lru"] {
-        let sub = if rank == "opt" { "6a" } else { "6b" };
-        let mut t = Table::new(
-            std::iter::once("benchmark".to_string())
-                .chain(SIZES_KB.iter().map(|kb| format!("{kb}KB")))
-                .collect(),
-        )
-        .with_title(format!(
-            "Figure {sub} — fully-associative vs direct-mapped speedup ({} ranking)",
-            rank.to_uppercase()
-        ));
-        for (bench, r, speedups) in &results {
-            if r == rank {
-                t.row_mixed(bench.clone(), speedups, 3);
-                for (kb, sp) in SIZES_KB.iter().zip(speedups) {
-                    csv.push(vec![
-                        rank.to_string(),
-                        bench.clone(),
-                        kb.to_string(),
-                        format!("{sp:.4}"),
-                    ]);
-                }
-            }
-        }
-        println!("{t}");
-    }
-    println!(
-        "Paper anchors: OPT — mcf >= 1.25x everywhere; gromacs ~1.35x at 128KB but\n\
-         ~1.0x above 1MB; lbm ~1.0x flat. LRU — all sensitivities shrink (mcf\n\
-         <= ~1.10x) and cactusADM dips below 1.0 near 4MB."
-    );
-    fs_bench::save_csv(
-        "fig6_assoc_sensitivity",
-        &["ranking", "benchmark", "size_kb", "fa_over_dm_speedup"],
-        &csv,
-    );
+    fs_bench::experiments::run_single_from_cli(&fs_bench::experiments::FIG6);
 }

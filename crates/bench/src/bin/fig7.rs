@@ -1,204 +1,6 @@
-//! Figure 7: QoS comparison of the five enforcement schemes on a
-//! 32-core CMP with an 8MB shared L2. Each mix has N_subject threads of
-//! the associativity-sensitive `gromacs` (guaranteed 256KB each) and
-//! 32 − N_subject threads of the memory-intensive bully `lbm` (which
-//! split the rest). N_subject sweeps six points across 1..31 (the
-//! paper sweeps eleven; the extra points do not change the curves).
-//!
-//! * Fig. 7a — average occupancy of subject threads vs their 256KB
-//!   target: FullAssoc/PF/FS hold it exactly; Vantage can fall ≤~3%
-//!   below; PriSM collapses 10–21% below (the abnormality).
-//! * Fig. 7b — AEF of subject threads: FullAssoc 1.0; FS ~0.85;
-//!   Vantage ~0.80; PF degrades toward 0.5; PriSM in between.
-//! * Fig. 7c — subject-thread performance: FS ≈ FullAssoc, better than
-//!   Vantage (up to ~6%) and PriSM (up to ~13.7%).
-
-use analysis::Table;
-use cachesim::{PartitionId, PartitionedCache};
-use simqos::{static_qos, System, SystemConfig, Thread};
-use workloads::benchmark;
-
-const TOTAL_LINES: usize = 131_072; // 8MB
-const SUBJECT_LINES: usize = 4_096; // 256KB
-const CORES: usize = 32;
-const SUBJECT_COUNTS: [usize; 6] = [1, 7, 13, 19, 25, 31];
-const SCHEMES: [&str; 5] = ["full-assoc", "fs-feedback", "vantage", "pf", "prism"];
-
-#[derive(Clone)]
-struct Point {
-    occupancy_frac: f64, // avg subject occupancy / target
-    aef: f64,            // avg subject AEF
-    ipc: f64,            // avg subject IPC
-}
-
-fn run_one(scheme: &str, rank: &str, subjects: usize, trace_len: usize) -> Option<Point> {
-    let backgrounds = CORES - subjects;
-    // Vantage manages only 90% of the cache: its background targets are
-    // scaled so the managed total stays within (1-u) of the array.
-    let targets = if scheme == "vantage" {
-        let managed = (TOTAL_LINES as f64 * 0.9) as usize;
-        if managed < subjects * SUBJECT_LINES {
-            return None; // the paper skips N=31 for Vantage
-        }
-        static_qos(managed, subjects, SUBJECT_LINES, backgrounds)
-    } else {
-        static_qos(TOTAL_LINES, subjects, SUBJECT_LINES, backgrounds)
-    };
-    let array = if scheme == "full-assoc" {
-        fs_bench::fa_array(TOTAL_LINES)
-    } else {
-        fs_bench::l2_array(TOTAL_LINES, 0xF16_7)
-    };
-    // Subject partitions are the only ones whose associativity is
-    // reported, so the coarse ranking carries its exact measurement
-    // shadow only for them (a large simulation-speed win). The ideal
-    // FullAssoc scheme is the exception: it asks the ranking for the
-    // most futile line of *any* pool, which needs the full shadow.
-    let ranking: Box<dyn cachesim::FutilityRanking> =
-        if rank == "coarse-lru" && scheme != "full-assoc" {
-            Box::new(ranking::CoarseLru::with_shadow_pools(subjects.max(1)))
-        } else {
-            fs_bench::futility_ranking(rank)
-        };
-    let mut cache = PartitionedCache::new(array, ranking, fs_bench::scheme(scheme), CORES);
-    cache.set_targets(&targets);
-
-    let gromacs = benchmark("gromacs").expect("profile");
-    let lbm = benchmark("lbm").expect("profile");
-    let threads: Vec<Thread> = (0..CORES)
-        .map(|i| {
-            let (profile, name) = if i < subjects {
-                (&gromacs, "gromacs")
-            } else {
-                (&lbm, "lbm")
-            };
-            Thread::new(
-                format!("{name}#{i}"),
-                profile.generate_with_base(trace_len, 3000 + i as u64, (i as u64) << 40),
-            )
-        })
-        .collect();
-    let mut sys = System::new(SystemConfig::micro2014(), cache, threads);
-    let result = sys.run(0.3);
-
-    let mut occ = 0.0;
-    let mut aef = 0.0;
-    let mut ipc = 0.0;
-    for i in 0..subjects {
-        let p = sys.cache().stats().partition(PartitionId(i as u16));
-        occ += p.avg_occupancy() / SUBJECT_LINES as f64;
-        aef += p.aef();
-        ipc += result.threads[i].ipc();
-    }
-    Some(Point {
-        occupancy_frac: occ / subjects as f64,
-        aef: aef / subjects as f64,
-        ipc: ipc / subjects as f64,
-    })
-}
+//! Figure 7, regenerated standalone; see `fs_bench::experiments::fig7`
+//! for the experiment definition and `--bin all` for the full sweep.
 
 fn main() {
-    let trace_len = fs_bench::scaled(32_000);
-    let rankings = ["coarse-lru", "opt"];
-    // (rank, scheme) -> one point per subject count.
-    let results: Vec<(String, String, Vec<Option<Point>>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = rankings
-            .iter()
-            .flat_map(|&rank| SCHEMES.iter().map(move |&scheme| (rank, scheme)))
-            .map(|(rank, scheme)| {
-                s.spawn(move || {
-                    let pts = SUBJECT_COUNTS
-                        .iter()
-                        .map(|&n| run_one(scheme, rank, n, trace_len))
-                        .collect();
-                    (rank.to_string(), scheme.to_string(), pts)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    });
-
-    let mut csv = Vec::new();
-    for rank in rankings {
-        for (title, field) in [
-            ("Figure 7a — avg subject occupancy / 256KB target", 0usize),
-            ("Figure 7b — avg subject AEF", 1),
-            ("Figure 7c — avg subject IPC", 2),
-        ] {
-            let mut t = Table::new(
-                std::iter::once("scheme".to_string())
-                    .chain(SUBJECT_COUNTS.iter().map(|n| format!("{n}")))
-                    .collect(),
-            )
-            .with_title(format!("{title} ({rank} ranking)"));
-            for (r, scheme, pts) in &results {
-                if r != rank {
-                    continue;
-                }
-                let vals: Vec<f64> = pts
-                    .iter()
-                    .map(|p| {
-                        p.as_ref().map_or(f64::NAN, |p| match field {
-                            0 => p.occupancy_frac,
-                            1 => p.aef,
-                            _ => p.ipc,
-                        })
-                    })
-                    .collect();
-                let cells: Vec<String> = std::iter::once(scheme.clone())
-                    .chain(vals.iter().map(|v| fs_bench::fmt3(*v)))
-                    .collect();
-                t.row(cells);
-            }
-            println!("{t}");
-        }
-        // Headline comparison: FS vs Vantage and PriSM subject IPC.
-        let ipc_of = |scheme: &str| -> Vec<f64> {
-            results
-                .iter()
-                .find(|(r, s, _)| r == rank && s == scheme)
-                .map(|(_, _, pts)| {
-                    pts.iter()
-                        .map(|p| p.as_ref().map_or(f64::NAN, |p| p.ipc))
-                        .collect()
-                })
-                .expect("scheme ran")
-        };
-        let fs = ipc_of("fs-feedback");
-        let improvement = |other: &[f64]| -> f64 {
-            fs.iter()
-                .zip(other)
-                .filter(|(a, b)| a.is_finite() && b.is_finite())
-                .map(|(a, b)| (a / b - 1.0) * 100.0)
-                .fold(f64::NEG_INFINITY, f64::max)
-        };
-        println!(
-            "[{rank}] FS vs Vantage: up to {:+.1}% subject IPC; FS vs PriSM: up to {:+.1}%\n\
-             (paper anchors: up to +6.0% and +13.7%)\n",
-            improvement(&ipc_of("vantage")),
-            improvement(&ipc_of("prism")),
-        );
-        for (r, scheme, pts) in &results {
-            if r != rank {
-                continue;
-            }
-            for (n, p) in SUBJECT_COUNTS.iter().zip(pts) {
-                if let Some(p) = p {
-                    csv.push(vec![
-                        rank.to_string(),
-                        scheme.clone(),
-                        n.to_string(),
-                        format!("{:.4}", p.occupancy_frac),
-                        format!("{:.4}", p.aef),
-                        format!("{:.4}", p.ipc),
-                    ]);
-                }
-            }
-        }
-    }
-    fs_bench::save_csv(
-        "fig7_qos",
-        &["ranking", "scheme", "n_subject", "occupancy_frac", "aef", "subject_ipc"],
-        &csv,
-    );
+    fs_bench::experiments::run_single_from_cli(&fs_bench::experiments::FIG7);
 }

@@ -1,161 +1,6 @@
-//! Figure 8 (sensitivity study, §VIII — the source text truncates here;
-//! reconstructed as the advertised "sensitivity to two configuration
-//! parameters"): how the feedback-FS controller's interval length `l`
-//! and changing ratio `Δα` affect sizing precision (MAD) and
-//! associativity (AEF), on the Section IV substrate (two mcf threads,
-//! 2MB random-candidates cache, R = 16, coarse timestamp LRU — the
-//! ranking the hardware design actually uses).
-//!
-//! Expected shape: small `l` or large `Δα` reacts faster (smaller size
-//! deviations) but over-scales futility and costs associativity; the
-//! paper's defaults (l = 16, Δα = 2) sit at the knee.
-
-use analysis::Table;
-use cachesim::{PartitionId, PartitionedCache};
-use futility_core::{FeedbackConfig, FsFeedback};
-use workloads::{benchmark, RateControlledDriver};
-
-struct Point {
-    mad: f64,
-    aef0: f64,
-    aef1: f64,
-}
-
-fn run_one(config: FeedbackConfig, insertions: u64, seed: u64) -> Point {
-    const R: usize = 16;
-    let lines = fs_bench::lines_of_kb(2048);
-    let warmup = (lines * 8) as u64;
-    let mcf = benchmark("mcf").expect("profile");
-    let trace_len = ((warmup + insertions) as usize) * 5;
-    let traces = vec![
-        mcf.generate_with_base(trace_len, seed, 0),
-        mcf.generate_with_base(trace_len, seed + 1, 1 << 40),
-    ];
-    let mut cache = PartitionedCache::new(
-        fs_bench::random_array(lines, R, seed),
-        fs_bench::futility_ranking("coarse-lru"),
-        Box::new(FsFeedback::new(config)),
-        2,
-    );
-    // An asymmetric split keeps the controller working: 70/30 targets
-    // under equal insertion rates.
-    let t0 = lines * 7 / 10;
-    cache.set_targets(&[t0, lines - t0]);
-    let mut driver = RateControlledDriver::new(traces, vec![0.5, 0.5], seed ^ 0xF8);
-    driver.run(&mut cache, warmup);
-    cache.stats_mut().reset();
-    driver.run(&mut cache, insertions);
-    let p0 = cache.stats().partition(PartitionId(0));
-    let p1 = cache.stats().partition(PartitionId(1));
-    Point {
-        mad: p1.size_mad(),
-        aef0: p0.aef(),
-        aef1: p1.aef(),
-    }
-}
+//! Figure 8, regenerated standalone; see `fs_bench::experiments::fig8`
+//! for the experiment definition and `--bin all` for the full sweep.
 
 fn main() {
-    let insertions = fs_bench::scaled(100_000) as u64;
-
-    let intervals = [4u32, 8, 16, 32, 64, 128];
-    let ratios = [1.25f64, 1.5, 2.0, 4.0, 8.0];
-
-    let (by_l, by_r): (Vec<Point>, Vec<Point>) = std::thread::scope(|s| {
-        let h1: Vec<_> = intervals
-            .iter()
-            .map(|&l| {
-                s.spawn(move || {
-                    run_one(
-                        FeedbackConfig {
-                            interval: l,
-                            ..Default::default()
-                        },
-                        insertions,
-                        21,
-                    )
-                })
-            })
-            .collect();
-        let h2: Vec<_> = ratios
-            .iter()
-            .map(|&r| {
-                s.spawn(move || {
-                    run_one(
-                        FeedbackConfig {
-                            ratio: r,
-                            ..Default::default()
-                        },
-                        insertions,
-                        21,
-                    )
-                })
-            })
-            .collect();
-        (
-            h1.into_iter().map(|h| h.join().expect("worker")).collect(),
-            h2.into_iter().map(|h| h.join().expect("worker")).collect(),
-        )
-    });
-
-    let mut csv = Vec::new();
-    let mut t = Table::new(vec![
-        "interval l".into(),
-        "MAD P2 (lines)".into(),
-        "AEF P1".into(),
-        "AEF P2".into(),
-    ])
-    .with_title("Figure 8a — feedback-FS sensitivity to interval length (Δα = 2)");
-    for (l, p) in intervals.iter().zip(&by_l) {
-        t.row(vec![
-            l.to_string(),
-            format!("{:.1}", p.mad),
-            fs_bench::fmt3(p.aef0),
-            fs_bench::fmt3(p.aef1),
-        ]);
-        csv.push(vec![
-            "interval".into(),
-            l.to_string(),
-            format!("{:.2}", p.mad),
-            format!("{:.4}", p.aef0),
-            format!("{:.4}", p.aef1),
-        ]);
-    }
-    println!("{t}");
-
-    let mut t = Table::new(vec![
-        "ratio Δα".into(),
-        "MAD P2 (lines)".into(),
-        "AEF P1".into(),
-        "AEF P2".into(),
-    ])
-    .with_title("Figure 8b — feedback-FS sensitivity to changing ratio (l = 16)");
-    for (r, p) in ratios.iter().zip(&by_r) {
-        t.row(vec![
-            format!("{r}"),
-            format!("{:.1}", p.mad),
-            fs_bench::fmt3(p.aef0),
-            fs_bench::fmt3(p.aef1),
-        ]);
-        csv.push(vec![
-            "ratio".into(),
-            format!("{r}"),
-            format!("{:.2}", p.mad),
-            format!("{:.4}", p.aef0),
-            format!("{:.4}", p.aef1),
-        ]);
-    }
-    println!("{t}");
-    println!(
-        "Measured shape: the interval l governs sizing precision (MAD grows\n\
-         roughly linearly with l) at negligible associativity cost, while the\n\
-         changing ratio governs associativity (larger steps over-scale the\n\
-         shrunk partition and erode its AEF) at flat MAD. The paper's default\n\
-         (l = 16, ratio = 2) buys hardware simplicity (bit shifts, 4-bit\n\
-         counters) at a modest corner of both costs."
-    );
-    fs_bench::save_csv(
-        "fig8_sensitivity",
-        &["knob", "value", "mad_p2", "aef_p1", "aef_p2"],
-        &csv,
-    );
+    fs_bench::experiments::run_single_from_cli(&fs_bench::experiments::FIG8);
 }

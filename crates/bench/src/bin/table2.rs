@@ -1,28 +1,6 @@
-//! Table II: the evaluated system configuration, as encoded by
-//! `SystemConfig::micro2014()` and the experiment defaults, plus the
-//! inventory of schemes and rankings the harness can drive.
-
-use simqos::SystemConfig;
+//! Table II, regenerated standalone; see `fs_bench::experiments::table2`
+//! for the experiment definition and `--bin all` for the full sweep.
 
 fn main() {
-    let cfg = SystemConfig::micro2014();
-    println!("## Table II — system configuration");
-    println!("{}", cfg.describe());
-    println!(
-        "L2 $    8MB shared ({} lines), 16-way set associative, hashed (XOR-style) indexing",
-        fs_bench::lines_of_kb(8192)
-    );
-    println!("Cores   32 (Figure 7 runs 32 concurrent threads)");
-    println!();
-    println!("Futility rankings: {}", ranking::ALL_RANKINGS.join(", "));
-    println!(
-        "Enforcement schemes: fs (analytic), fs-feedback, {}",
-        baselines::ALL_BASELINES.join(", ")
-    );
-    println!(
-        "\nFeedback-FS hardware budget (Section V-B): coarse timestamp LRU\n\
-         (~1.5% state overhead) + five registers per partition\n\
-         (ActualSize, TargetSize, 4-bit insertion/eviction counters,\n\
-         3-bit ScalingShiftWidth); replacement path = 3R-1 narrow ops."
-    );
+    fs_bench::experiments::run_single_from_cli(&fs_bench::experiments::TABLE2);
 }

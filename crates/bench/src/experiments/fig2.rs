@@ -1,0 +1,165 @@
+//! Figure 2: partitioning-induced associativity loss under the
+//! Partitioning-First scheme. Workloads duplicate one benchmark N times
+//! (N = 1, 2, 4, 8, 16, 32) on a 16-way set-associative cache with
+//! 512KB per partition, OPT futility ranking; PF enforcement.
+//!
+//! * Fig. 2a — associativity CDF / AEF of the first partition (mcf):
+//!   AEF decays from ~0.95 at N=1 toward the 0.5 random floor by N=32.
+//! * Fig. 2b — misses of the first partition (normalized to N=1):
+//!   grows with N; mcf worst (~+37% at N=32), lbm flat.
+//! * Fig. 2c — IPC of the first partition (normalized to N=1): drops
+//!   with N; mcf worst (~−24%), lbm flat.
+
+use super::{cell_f64, Experiment, Point};
+use crate::runner::{JobOutput, JobResult, Row};
+use crate::Scale;
+use analysis::Table;
+use cachesim::prng::SplitMix64;
+use cachesim::{PartitionId, PartitionedCache};
+use simqos::{System, SystemConfig, Thread};
+use std::fmt::Write;
+use workloads::{benchmark, ALL_BENCHMARKS};
+
+const PARTITION_LINES: usize = 8192; // 512KB
+const NS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Figure 2 experiment definition.
+pub static FIG2: Experiment = Experiment {
+    name: "fig2",
+    csv: "fig2_pf_degradation",
+    header: &["benchmark", "N", "aef_p0", "misses_norm", "ipc_norm"],
+    points,
+    finish,
+    report,
+};
+
+fn points(scale: Scale) -> Vec<Point> {
+    let trace_len = scale.accesses(40_000);
+    let part_lines = scale.lines(PARTITION_LINES);
+    let mut points = Vec::with_capacity(ALL_BENCHMARKS.len() * NS.len());
+    for &bench in ALL_BENCHMARKS.iter() {
+        for &n in &NS {
+            points.push(Point {
+                label: format!("{bench} N={n}"),
+                run: Box::new(move |seed| run_one(bench, n, part_lines, trace_len, seed)),
+            });
+        }
+    }
+    points
+}
+
+/// Raw point row: benchmark, N, AEF, raw misses, raw IPC, CDF string.
+/// `finish` turns the raw misses/IPC into N=1-normalized columns.
+fn run_one(bench: &str, n: usize, part_lines: usize, trace_len: usize, seed: u64) -> JobOutput {
+    let mut sm = SplitMix64::new(seed);
+    let array_seed = sm.next_u64();
+    let profile = benchmark(bench).expect("known benchmark");
+    let lines = part_lines * n;
+    let cache = PartitionedCache::new(
+        crate::l2_array(lines, array_seed),
+        crate::futility_ranking("opt"),
+        crate::scheme("pf"),
+        n,
+    );
+    let threads: Vec<Thread> = (0..n)
+        .map(|i| {
+            Thread::new(
+                format!("{bench}#{i}"),
+                profile.generate_with_base(trace_len, sm.next_u64(), (i as u64) << 40),
+            )
+        })
+        .collect();
+    let mut sys = System::new(SystemConfig::micro2014(), cache, threads);
+    // Targets default to the equal share (512KB each).
+    let result = sys.run(0.3);
+    let p0 = sys.cache().stats().partition(PartitionId(0));
+    let accesses = p0.hits + p0.misses;
+    let cdf: Vec<String> = analysis::downsample_cdf(&p0.associativity_cdf(), 10)
+        .iter()
+        .map(|(x, y)| format!("{x:.1}:{y:.2}"))
+        .collect();
+    JobOutput::rows(vec![vec![
+        bench.to_string(),
+        n.to_string(),
+        format!("{:.4}", p0.aef()),
+        p0.misses.to_string(),
+        format!("{:.6}", result.threads[0].ipc()),
+        cdf.join(" "),
+    ]])
+    .with_miss_rate(if accesses == 0 {
+        0.0
+    } else {
+        p0.misses as f64 / accesses as f64
+    })
+}
+
+/// Normalize each benchmark's misses/IPC to its own N=1 point and drop
+/// the report-only raw/CDF columns.
+fn finish(results: &[JobResult]) -> Vec<Row> {
+    let mut out = Vec::with_capacity(results.len());
+    for group in results.chunks(NS.len()) {
+        let first = &group[0].output.rows[0];
+        let m1 = cell_f64(&first[3]).max(1.0);
+        let i1 = cell_f64(&first[4]);
+        for r in group {
+            let raw = &r.output.rows[0];
+            out.push(vec![
+                raw[0].clone(),
+                raw[1].clone(),
+                raw[2].clone(),
+                format!("{:.4}", cell_f64(&raw[3]) / m1),
+                format!("{:.4}", cell_f64(&raw[4]) / i1),
+            ]);
+        }
+    }
+    out
+}
+
+fn report(results: &[JobResult], rows: &[Row]) -> String {
+    let mut out = String::new();
+
+    // Fig 2a: associativity CDF of the first partition for mcf.
+    let _ = writeln!(
+        out,
+        "## Figure 2a — associativity CDF of partition 0 (mcf, PF, OPT ranking)"
+    );
+    for r in results {
+        let raw = &r.output.rows[0];
+        if raw[0] == "mcf" {
+            let _ = writeln!(out, "N={:>2}  AEF={}  CDF {}", raw[1], raw[2], raw[5]);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "Paper anchors: AEF 0.95 (N=1) -> 0.82 -> 0.74 -> 0.66 -> 0.60 -> 0.56 (N=32),\n\
+         approaching the futility-blind diagonal F(x) = x.\n"
+    );
+
+    // Fig 2b/2c: misses and IPC of the first partition, normalized.
+    let header: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(NS.iter().map(|n| format!("N={n}")))
+        .collect();
+    let mut tb = Table::new(header.clone())
+        .with_title("Figure 2b — misses of partition 0 (normalized to N=1)");
+    let mut tc =
+        Table::new(header).with_title("Figure 2c — IPC of partition 0 (normalized to N=1)");
+    for group in rows.chunks(NS.len()) {
+        let miss_norm: Vec<f64> = group.iter().map(|r| cell_f64(&r[3])).collect();
+        let ipc_norm: Vec<f64> = group.iter().map(|r| cell_f64(&r[4])).collect();
+        tb.row_mixed(group[0][0].clone(), &miss_norm, 3);
+        tc.row_mixed(group[0][0].clone(), &ipc_norm, 3);
+    }
+    let _ = writeln!(out, "{tb}");
+    let _ = writeln!(
+        out,
+        "Paper anchors: misses grow with N for reuse-heavy benchmarks (mcf ~1.37x\n\
+         at N=32) and stay ~flat for streaming lbm.\n"
+    );
+    let _ = writeln!(out, "{tc}");
+    let _ = write!(
+        out,
+        "Paper anchors: IPC decays with N for associativity-sensitive benchmarks\n\
+         (mcf ~0.76x at N=32); lbm is insensitive. PF does not scale with N."
+    );
+    out
+}

@@ -1,0 +1,126 @@
+//! Figure 6: associativity sensitivity of applications — speedup of a
+//! fully-associative cache over a direct-mapped cache of the same size,
+//! for sizes 128KB–8MB, under (a) OPT and (b) LRU futility ranking.
+//!
+//! Paper anchors: under OPT, mcf speeds up ≥25% at every size while lbm
+//! is flat; gromacs is sensitive only below ~1MB. Under LRU the
+//! sensitivities shrink dramatically, and cactusADM *loses* performance
+//! with full associativity around 4MB (LRU evicts exactly the wrong
+//! lines on a cyclic sweep).
+
+use super::{cell_f64, concat_rows, Experiment, Point};
+use crate::runner::{JobOutput, JobResult, Row};
+use crate::Scale;
+use analysis::Table;
+use cachesim::array::SetAssociative;
+use cachesim::hashing::ModuloIndex;
+use cachesim::prng::SplitMix64;
+use cachesim::PartitionedCache;
+use simqos::{System, SystemConfig, Thread};
+use std::fmt::Write;
+use workloads::benchmark;
+
+const BENCHES: [&str; 6] = ["mcf", "omnetpp", "gromacs", "astar", "cactusadm", "lbm"];
+const SIZES_KB: [usize; 7] = [128, 256, 512, 1024, 2048, 4096, 8192];
+const RANKINGS: [&str; 2] = ["opt", "lru"];
+
+/// Figure 6 experiment definition.
+pub static FIG6: Experiment = Experiment {
+    name: "fig6",
+    csv: "fig6_assoc_sensitivity",
+    header: &["ranking", "benchmark", "size_kb", "fa_over_dm_speedup"],
+    points,
+    finish: concat_rows,
+    report,
+};
+
+fn points(scale: Scale) -> Vec<Point> {
+    let trace_len = scale.accesses(150_000);
+    let mut points = Vec::new();
+    for &rank in RANKINGS.iter() {
+        for &bench in BENCHES.iter() {
+            for &kb in SIZES_KB.iter() {
+                let lines = scale.lines(crate::lines_of_kb(kb));
+                points.push(Point {
+                    label: format!("{bench} {kb}KB {rank}"),
+                    run: Box::new(move |seed| {
+                        let mut sm = SplitMix64::new(seed);
+                        let trace_seed = sm.next_u64();
+                        let fa = ipc(bench, lines, rank, true, trace_len, trace_seed);
+                        let dm = ipc(bench, lines, rank, false, trace_len, trace_seed);
+                        JobOutput::rows(vec![vec![
+                            rank.to_string(),
+                            bench.to_string(),
+                            kb.to_string(),
+                            format!("{:.4}", fa / dm),
+                        ]])
+                    }),
+                });
+            }
+        }
+    }
+    points
+}
+
+fn ipc(
+    bench: &str,
+    lines: usize,
+    ranking: &str,
+    fully_assoc: bool,
+    trace_len: usize,
+    trace_seed: u64,
+) -> f64 {
+    let array: Box<dyn cachesim::array::CacheArray> = if fully_assoc {
+        crate::fa_array(lines)
+    } else {
+        // Conventional direct-mapped cache: low address bits index.
+        Box::new(SetAssociative::new(lines, 1, ModuloIndex))
+    };
+    let cache = PartitionedCache::new(
+        array,
+        crate::futility_ranking(ranking),
+        crate::scheme("unpartitioned"),
+        1,
+    );
+    let trace = benchmark(bench)
+        .expect("known benchmark")
+        .generate(trace_len, trace_seed);
+    let mut sys = System::new(
+        SystemConfig::micro2014(),
+        cache,
+        vec![Thread::new(bench, trace)],
+    );
+    sys.run(0.3).threads[0].ipc()
+}
+
+fn report(_results: &[JobResult], rows: &[Row]) -> String {
+    let mut out = String::new();
+    for rank in RANKINGS {
+        let sub = if rank == "opt" { "6a" } else { "6b" };
+        let mut t = Table::new(
+            std::iter::once("benchmark".to_string())
+                .chain(SIZES_KB.iter().map(|kb| format!("{kb}KB")))
+                .collect(),
+        )
+        .with_title(format!(
+            "Figure {sub} — fully-associative vs direct-mapped speedup ({} ranking)",
+            rank.to_uppercase()
+        ));
+        for bench in BENCHES {
+            let speedups: Vec<f64> = rows
+                .iter()
+                .filter(|r| r[0] == rank && r[1] == bench)
+                .map(|r| cell_f64(&r[3]))
+                .collect();
+            t.row_mixed(bench, &speedups, 3);
+        }
+        let _ = writeln!(out, "{t}");
+    }
+    let _ = write!(
+        out,
+        "Paper anchors: OPT — mcf >= 1.25x everywhere; gromacs ~1.35x at 128KB but\n\
+         ~1.0x above 1MB; lbm ~1.0x flat. LRU — all sensitivities shrink (mcf\n\
+         <= ~1.10x) and cactusADM dips below 1.0 near 4MB."
+    );
+    out
+}

@@ -1,0 +1,84 @@
+//! Table II: the evaluated system configuration, as encoded by
+//! `SystemConfig::micro2014()` and the experiment defaults, plus the
+//! inventory of schemes and rankings the harness can drive.
+
+use super::{concat_rows, Experiment, Point};
+use crate::runner::{JobOutput, JobResult, Row};
+use crate::Scale;
+use simqos::SystemConfig;
+use std::fmt::Write;
+
+/// Table II experiment definition.
+pub static TABLE2: Experiment = Experiment {
+    name: "table2",
+    csv: "table2_config",
+    header: &["parameter", "value"],
+    points,
+    finish: concat_rows,
+    report,
+};
+
+fn points(_scale: Scale) -> Vec<Point> {
+    vec![Point {
+        label: "config".into(),
+        run: Box::new(|_seed| {
+            let cfg = SystemConfig::micro2014();
+            let rows: Vec<Row> = vec![
+                vec!["core_freq_ghz".into(), format!("{}", cfg.freq_ghz)],
+                vec!["base_cpi".into(), format!("{}", cfg.base_cpi)],
+                vec!["l2_hit_cycles".into(), cfg.l2_hit_cycles.to_string()],
+                vec![
+                    "mem_zero_load_cycles".into(),
+                    cfg.mem_zero_load_cycles.to_string(),
+                ],
+                vec!["line_bytes".into(), cfg.line_bytes.to_string()],
+                vec!["mem_bw_gbps".into(), format!("{}", cfg.mem_bw_gbps)],
+                vec![
+                    "transfer_cycles_per_line".into(),
+                    cfg.transfer_cycles().to_string(),
+                ],
+                vec!["l2_lines".into(), crate::lines_of_kb(8192).to_string()],
+                vec!["l2_ways".into(), "16".into()],
+                vec!["cores".into(), "32".into()],
+                // Semicolon-joined so the list stays a single CSV cell.
+                vec!["rankings".into(), ranking::ALL_RANKINGS.join("; ")],
+                vec![
+                    "schemes".into(),
+                    format!("fs; fs-feedback; {}", baselines::ALL_BASELINES.join("; ")),
+                ],
+            ];
+            JobOutput::rows(rows)
+        }),
+    }]
+}
+
+fn report(_results: &[JobResult], _rows: &[Row]) -> String {
+    let cfg = SystemConfig::micro2014();
+    let mut out = String::new();
+    let _ = writeln!(out, "## Table II — system configuration");
+    let _ = writeln!(out, "{}", cfg.describe());
+    let _ = writeln!(
+        out,
+        "L2 $    8MB shared ({} lines), 16-way set associative, hashed (XOR-style) indexing",
+        crate::lines_of_kb(8192)
+    );
+    let _ = writeln!(out, "Cores   32 (Figure 7 runs 32 concurrent threads)\n");
+    let _ = writeln!(
+        out,
+        "Futility rankings: {}",
+        ranking::ALL_RANKINGS.join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "Enforcement schemes: fs (analytic), fs-feedback, {}",
+        baselines::ALL_BASELINES.join(", ")
+    );
+    let _ = write!(
+        out,
+        "\nFeedback-FS hardware budget (Section V-B): coarse timestamp LRU\n\
+         (~1.5% state overhead) + five registers per partition\n\
+         (ActualSize, TargetSize, 4-bit insertion/eviction counters,\n\
+         3-bit ScalingShiftWidth); replacement path = 3R-1 narrow ops."
+    );
+    out
+}

@@ -6,15 +6,82 @@
 //! version suitable for smoke testing, print the paper's expected
 //! series next to the measured ones, and drop a CSV under `results/`.
 
+use cachesim::array::CacheArray;
 use cachesim::array::{FullyAssociative, RandomCandidates, SetAssociative};
 use cachesim::hashing::LineHash;
-use cachesim::array::CacheArray;
 use cachesim::{FutilityRanking, PartitionScheme};
 use futility_core::{FeedbackConfig, FsFeedback};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+pub mod experiments;
+pub mod runner;
+pub mod timing;
 
 /// Cache line size used throughout (Table II).
 pub const LINE_BYTES: usize = 64;
+
+/// How much to shrink an experiment relative to the paper's full
+/// configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's configuration.
+    Full,
+    /// Traces shortened 8× — minutes, not hours (`--quick`).
+    Quick,
+    /// Traces *and* cache sizes shrunk 64× — seconds even in debug
+    /// builds; drives every code path but not the paper's anchors
+    /// (`--smoke`, used by the integration tests).
+    Smoke,
+}
+
+impl Scale {
+    /// Parse `--quick` / `--smoke` from the process arguments.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--smoke") {
+            Scale::Smoke
+        } else if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Scale an access/insertion count.
+    pub fn accesses(self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 8).max(1),
+            Scale::Smoke => (full / 64).max(1),
+        }
+    }
+
+    /// Scale a cache size in lines (kept a multiple of 64 so 16-way
+    /// arrays always get whole sets).
+    pub fn lines(self, full: usize) -> usize {
+        match self {
+            Scale::Full | Scale::Quick => full,
+            Scale::Smoke => (full / 64).max(64),
+        }
+    }
+}
+
+/// Parse `--jobs N` from the process arguments; defaults to the number
+/// of available cores.
+pub fn cli_jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--jobs" {
+            return args
+                .get(i + 1)
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("--jobs needs a positive integer"));
+        }
+        if let Some(n) = a.strip_prefix("--jobs=") {
+            return n.parse().expect("--jobs needs a positive integer");
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Convert a capacity in KB to lines.
 pub fn lines_of_kb(kb: usize) -> usize {
@@ -82,7 +149,12 @@ pub fn results_dir() -> PathBuf {
 /// Save a CSV series under `results/<name>.csv` (best effort: prints a
 /// warning instead of failing the experiment on I/O errors).
 pub fn save_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
-    let path = results_dir().join(format!("{name}.csv"));
+    save_csv_in(&results_dir(), name, header, rows);
+}
+
+/// Save a CSV series under `<dir>/<name>.csv` (best effort).
+pub fn save_csv_in(dir: &Path, name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = dir.join(format!("{name}.csv"));
     match std::fs::File::create(&path) {
         Ok(f) => {
             if let Err(e) = analysis::write_csv(f, header, rows) {

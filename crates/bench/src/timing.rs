@@ -1,0 +1,120 @@
+//! A minimal micro-benchmark harness (the in-tree replacement for
+//! criterion): calibrated batching, median-of-batches reporting.
+//!
+//! Not statistically fancy — the goal is stable relative numbers for
+//! the micro-benchmark binaries (`--bin bench_arrays`, `bench_rankings`,
+//! `bench_schemes`) without external dependencies. Run them in release
+//! mode; `--quick` cuts the measurement time ~10×.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported `std::hint::black_box` so benchmark code reads like the
+/// criterion originals.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target wall time per measurement batch.
+const BATCH_TARGET: Duration = Duration::from_millis(5);
+
+/// Measure the cost of one call of `f`, in nanoseconds: calibrate a
+/// batch size that runs ~[`BATCH_TARGET`], then time `batches` batches
+/// and report the median batch's per-iteration cost.
+pub fn measure_ns<F: FnMut()>(mut f: F, batches: usize) -> f64 {
+    // Warm up and calibrate the batch size in one go.
+    let mut batch = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt >= BATCH_TARGET || batch >= 1 << 30 {
+            // Rescale to the target (clamped: dt can be ~0 for tiny f).
+            let scale = BATCH_TARGET.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+            batch = ((batch as f64 * scale) as u64).max(1);
+            break;
+        }
+        batch *= 4;
+    }
+    let mut per_iter: Vec<f64> = (0..batches.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    per_iter[per_iter.len() / 2]
+}
+
+/// A named group of measurements, printed as an aligned table.
+pub struct Group {
+    name: String,
+    batches: usize,
+    rows: Vec<(String, f64)>,
+}
+
+impl Group {
+    /// Start a group; honors `--quick` (fewer batches).
+    pub fn new(name: impl Into<String>) -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Group {
+            name: name.into(),
+            batches: if quick { 3 } else { 21 },
+            rows: Vec::new(),
+        }
+    }
+
+    /// Measure one labelled case.
+    pub fn bench<F: FnMut()>(&mut self, label: impl Into<String>, f: F) -> &mut Self {
+        let ns = measure_ns(f, self.batches);
+        self.rows.push((label.into(), ns));
+        self
+    }
+
+    /// Print the group: ns/iter plus the ratio to the fastest case.
+    pub fn finish(&self) {
+        println!("## {}", self.name);
+        let best = self
+            .rows
+            .iter()
+            .map(|(_, ns)| *ns)
+            .fold(f64::INFINITY, f64::min);
+        let width = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, ns) in &self.rows {
+            println!("{label:width$}  {ns:>10.1} ns/iter  ({:>5.2}x)", ns / best);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_orders_cheap_below_expensive() {
+        let cheap = measure_ns(
+            || {
+                black_box(1 + 1);
+            },
+            3,
+        );
+        let expensive = measure_ns(
+            || {
+                let mut s = 0u64;
+                for i in 0..2000u64 {
+                    s = s.wrapping_add(black_box(i));
+                }
+                black_box(s);
+            },
+            3,
+        );
+        assert!(cheap > 0.0);
+        assert!(expensive > cheap, "{expensive} vs {cheap}");
+    }
+}

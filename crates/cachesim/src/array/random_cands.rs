@@ -6,15 +6,14 @@
 
 use super::{CacheArray, SlotTable};
 use crate::ids::{Occupant, PartitionId, SlotId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::Prng;
 
 /// A cache array whose candidate list is `R` slots sampled uniformly at
 /// random (without replacement) from the whole array.
 pub struct RandomCandidates {
     table: SlotTable,
     r: usize,
-    rng: SmallRng,
+    rng: Prng,
     free: Vec<SlotId>,
 }
 
@@ -29,7 +28,7 @@ impl RandomCandidates {
         RandomCandidates {
             table: SlotTable::new(num_lines),
             r,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
             free: (0..num_lines as SlotId).rev().collect(),
         }
     }

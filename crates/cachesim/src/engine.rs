@@ -173,7 +173,11 @@ impl PartitionedCache {
         debug_assert!(part.index() < self.partitions, "foreign pool access");
         self.time += 1;
         if let Some(slot) = self.array.lookup(addr) {
-            let mut pool = self.array.occupant(slot).expect("lookup hit empty slot").part;
+            let mut pool = self
+                .array
+                .occupant(slot)
+                .expect("lookup hit empty slot")
+                .part;
             if pool != part {
                 if let Some(dest) = self.scheme.on_foreign_hit(pool, part) {
                     self.apply_retag(slot, pool, dest);
@@ -256,11 +260,13 @@ impl PartitionedCache {
             return AccessOutcome::Miss { evicted: None };
         }
         let victim_pool = self.scheme.victim_partition_fully_assoc(part, &self.state);
-        let victim_addr = self
-            .ranking
-            .max_futility_line(victim_pool)
-            .expect("fully-associative eviction from empty pool: ranking must support max_futility_line");
-        let slot = self.array.lookup(victim_addr).expect("ranking/array out of sync");
+        let victim_addr = self.ranking.max_futility_line(victim_pool).expect(
+            "fully-associative eviction from empty pool: ranking must support max_futility_line",
+        );
+        let slot = self
+            .array
+            .lookup(victim_addr)
+            .expect("ranking/array out of sync");
         let futility = self.ranking.true_futility(victim_pool, victim_addr);
         self.evict(slot, victim_pool, victim_addr, futility);
         self.install(slot, dest_pool, addr, meta);
@@ -363,10 +369,7 @@ mod tests {
         }
         assert_eq!(c.state().actual[0], 32);
         assert_eq!(c.state().actual[1], 16);
-        assert_eq!(
-            c.state().actual.iter().sum::<usize>(),
-            c.array().occupied()
-        );
+        assert_eq!(c.state().actual.iter().sum::<usize>(), c.array().occupied());
     }
 
     #[test]

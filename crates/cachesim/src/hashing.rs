@@ -32,7 +32,9 @@ impl LineHash {
     /// so that it still produces a non-trivial function.
     pub fn new(seed: u64) -> Self {
         LineHash {
-            seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF0),
+            seed: seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0x1234_5678_9ABC_DEF0),
         }
     }
 }
@@ -125,10 +127,7 @@ mod tests {
         for a in 0..n {
             counts[(h.hash(a) % buckets as u64) as usize] += 1;
         }
-        (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        )
+        (*counts.iter().min().unwrap(), *counts.iter().max().unwrap())
     }
 
     #[test]
@@ -165,6 +164,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spell out the 16-bit XOR fold
     fn xor_fold_is_deterministic_and_bounded() {
         let h = XorFold;
         assert_eq!(h.hash(0x0001_0002_0003_0004), 1 ^ 2 ^ 3 ^ 4);

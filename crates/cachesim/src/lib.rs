@@ -37,6 +37,7 @@ pub mod fxmap;
 pub mod hashing;
 pub mod ids;
 pub mod ostree;
+pub mod prng;
 pub mod ranking_api;
 pub mod scheme_api;
 pub mod stats;

@@ -1,0 +1,299 @@
+//! In-tree pseudo-random number generation: SplitMix64 for seeding and
+//! stream derivation, xoshiro256** for the simulation streams.
+//!
+//! The workspace builds with zero external dependencies, so this module
+//! replaces the `rand` crate for every randomized component (workload
+//! generators, PriSM's sampling, the random-candidates array, the
+//! property-test harness). Both generators are the reference algorithms
+//! by Blackman & Vigna (public domain); they are deterministic across
+//! platforms, which is what makes fixed-seed experiments reproducible
+//! bit-for-bit.
+//!
+//! # Streams and reproducibility
+//!
+//! Every randomized component takes an explicit `u64` seed. Independent
+//! streams are derived, never shared: [`seed_for`] maps an experiment
+//! name plus a point index to a stream seed, so a sweep point's RNG
+//! stream depends only on *what* it computes — not on which worker
+//! thread picked it up or in what order jobs completed.
+
+/// SplitMix64: a tiny, full-period generator used to expand one `u64`
+/// seed into xoshiro state and to derive sub-seeds.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workhorse generator. 256 bits of state, period
+/// 2^256 − 1, passes BigCrush; seeded from a single `u64` through
+/// SplitMix64 as the authors recommend.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+/// The default simulation PRNG (alias so call sites stay short).
+pub type Prng = Xoshiro256;
+
+impl Xoshiro256 {
+    /// Seed via SplitMix64 expansion (never yields the all-zero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in a half-open or inclusive range, e.g.
+    /// `rng.gen_range(0..n)` or `rng.gen_range(1..=max)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: IntRange<T>,
+    {
+        let (lo, span) = range.bounds();
+        lo.offset(self.bounded(span))
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Derive an independent child generator (for per-component streams
+    /// split off one master seed).
+    pub fn fork(&mut self) -> Self {
+        Xoshiro256::seed_from_u64(self.next_u64())
+    }
+
+    /// Unbiased uniform draw in `[0, span)` (`span == 0` means the full
+    /// 64-bit range) via Lemire's multiply-shift with rejection.
+    #[inline]
+    fn bounded(&mut self, span: u64) -> u64 {
+        if span == 0 {
+            return self.next_u64();
+        }
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            let low = m as u64;
+            if low >= span.wrapping_neg() % span {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Integer types [`Xoshiro256::gen_range`] can draw.
+pub trait UniformInt: Copy {
+    /// Widen to the `u64` the sampler works in.
+    fn to_u64(self) -> u64;
+    /// `self + delta`, narrowing back to `Self`.
+    fn offset(self, delta: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn offset(self, delta: u64) -> Self {
+                (self as u64).wrapping_add(delta) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Ranges accepted by [`Xoshiro256::gen_range`].
+pub trait IntRange<T: UniformInt> {
+    /// `(low, span)` where `span == 0` encodes the full 64-bit range.
+    fn bounds(&self) -> (T, u64);
+}
+
+impl<T: UniformInt> IntRange<T> for std::ops::Range<T> {
+    fn bounds(&self) -> (T, u64) {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "gen_range on empty range");
+        (self.start, hi - lo)
+    }
+}
+
+impl<T: UniformInt> IntRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(&self) -> (T, u64) {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "gen_range on empty range");
+        (*self.start(), (hi - lo).wrapping_add(1))
+    }
+}
+
+/// Derive the deterministic seed of one sweep point: a hash of the
+/// experiment name mixed with the point index, finalized through
+/// SplitMix64. Independent of thread scheduling by construction.
+pub fn seed_for(name: &str, index: u64) -> u64 {
+    // FNV-1a over the name, then mix in the index.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SplitMix64::new(h ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference outputs for seed 1234567 (from the public-domain C
+        // implementation).
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_streams_differ() {
+        let mut a = Prng::seed_from_u64(7);
+        let mut b = Prng::seed_from_u64(7);
+        let mut c = Prng::seed_from_u64(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut min = 1.0f64;
+        let mut max = 0.0f64;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            min = min.min(x);
+            max = max.max(x);
+        }
+        assert!(min < 0.01 && max > 0.99, "covers the interval");
+    }
+
+    #[test]
+    fn gen_range_covers_and_respects_bounds() {
+        let mut rng = Prng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1000 {
+            let x = rng.gen_range(5u32..=7);
+            assert!((5..=7).contains(&x));
+        }
+        // Degenerate inclusive range.
+        assert_eq!(rng.gen_range(9u64..=9), 9);
+    }
+
+    #[test]
+    fn gen_range_is_statistically_uniform() {
+        let mut rng = Prng::seed_from_u64(5);
+        let n = 7u64;
+        let mut counts = [0u32; 7];
+        let trials = 70_000;
+        for _ in 0..trials {
+            counts[rng.gen_range(0..n) as usize] += 1;
+        }
+        let expected = trials as f64 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < expected * 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Prng::seed_from_u64(6);
+        let _ = rng.gen_range(3u32..3);
+    }
+
+    #[test]
+    fn shuffle_permutes_in_place() {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never stay put");
+    }
+
+    #[test]
+    fn seed_for_depends_on_name_and_index_only() {
+        assert_eq!(seed_for("fig2", 3), seed_for("fig2", 3));
+        assert_ne!(seed_for("fig2", 3), seed_for("fig2", 4));
+        assert_ne!(seed_for("fig2", 3), seed_for("fig3", 3));
+    }
+
+    #[test]
+    fn fork_yields_independent_streams() {
+        let mut parent = Prng::seed_from_u64(11);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -10,9 +10,9 @@
 //! Random) live in the `ranking` crate; this module only defines the
 //! trait plus a minimal exact-LRU used by doc examples and smoke tests.
 
+use crate::fxmap::FxHashMap;
 use crate::ids::{AccessMeta, PartitionId};
 use crate::ostree::OsTreap;
-use crate::fxmap::FxHashMap;
 
 /// Per-partition futility bookkeeping driven by the simulation engine.
 ///
@@ -172,9 +172,7 @@ impl FutilityRanking for NaiveLru {
     }
 
     fn pool_len(&self, part: PartitionId) -> usize {
-        self.pools
-            .get(part.index())
-            .map_or(0, |p| p.by_time.len())
+        self.pools.get(part.index()).map_or(0, |p| p.by_time.len())
     }
 }
 

@@ -234,10 +234,7 @@ impl PartitionScheme for EvictMaxFutility {
 
 /// Helper used by several schemes and the engine's fully-associative
 /// path: resolve the most futile line of `part` through the ranking.
-pub fn most_futile_line_of(
-    ranking: &dyn FutilityRanking,
-    part: PartitionId,
-) -> Option<u64> {
+pub fn most_futile_line_of(ranking: &dyn FutilityRanking, part: PartitionId) -> Option<u64> {
     ranking.max_futility_line(part)
 }
 

@@ -5,8 +5,8 @@
 //! access to be annotated with the time of the *next* reference to the
 //! same line ("the time to their next references", Section III-A).
 
-use crate::ids::NO_NEXT_USE;
 use crate::fxmap::FxHashMap;
+use crate::ids::NO_NEXT_USE;
 
 /// One L2 access: a line address plus the number of instructions the
 /// core executed since its previous L2 access (used by the timing model).
@@ -65,7 +65,8 @@ impl Trace {
 
     /// Number of distinct lines touched (the footprint, in lines).
     pub fn footprint(&self) -> usize {
-        let mut seen: FxHashMap<u64, ()> = FxHashMap::with_capacity_and_hasher(self.len() / 4 + 1, Default::default());
+        let mut seen: FxHashMap<u64, ()> =
+            FxHashMap::with_capacity_and_hasher(self.len() / 4 + 1, Default::default());
         for a in &self.accesses {
             seen.insert(a.addr, ());
         }
@@ -80,7 +81,8 @@ impl Trace {
     /// The returned vector is parallel to `self.accesses`.
     pub fn annotate_next_use(&self) -> Vec<u64> {
         let mut next = vec![NO_NEXT_USE; self.accesses.len()];
-        let mut last_seen: FxHashMap<u64, u64> = FxHashMap::with_capacity_and_hasher(self.len() / 4 + 1, Default::default());
+        let mut last_seen: FxHashMap<u64, u64> =
+            FxHashMap::with_capacity_and_hasher(self.len() / 4 + 1, Default::default());
         for i in (0..self.accesses.len()).rev() {
             let addr = self.accesses[i].addr;
             if let Some(&j) = last_seen.get(&addr) {

@@ -75,7 +75,7 @@ impl Umon {
     /// Observe one access. Returns `true` if the address was sampled.
     pub fn observe(&mut self, addr: u64) -> bool {
         let h = self.hash.hash(addr);
-        if h % self.sampling != 0 {
+        if !h.is_multiple_of(self.sampling) {
             return false;
         }
         self.observed += 1;

@@ -41,11 +41,7 @@ impl FsAnalytic {
     ///
     /// # Errors
     /// Propagates [`ScalingError`] for infeasible or malformed inputs.
-    pub fn from_rates(
-        insertions: &[f64],
-        sizes: &[f64],
-        r: usize,
-    ) -> Result<Self, ScalingError> {
+    pub fn from_rates(insertions: &[f64], sizes: &[f64], r: usize) -> Result<Self, ScalingError> {
         Ok(FsAnalytic {
             alphas: solve_scaling_factors(insertions, sizes, r)?,
         })

@@ -94,9 +94,7 @@ impl FsFeedback {
 
     /// Current scaling factor `ratio^shift_width` of a partition.
     pub fn alpha(&self, part: PartitionId) -> f64 {
-        self.config
-            .ratio
-            .powi(self.shift_width(part) as i32)
+        self.config.ratio.powi(self.shift_width(part) as i32)
     }
 
     fn ensure(&mut self, pools: usize) {
@@ -147,10 +145,7 @@ impl PartitionScheme for FsFeedback {
         let mut best = 0usize;
         let mut best_scaled = f64::NEG_INFINITY;
         for (i, c) in cands.iter().enumerate() {
-            let shift = self
-                .regs
-                .get(c.part.index())
-                .map_or(0, |r| r.shift_width);
+            let shift = self.regs.get(c.part.index()).map_or(0, |r| r.shift_width);
             let scaled = c.futility * self.config.ratio.powi(shift as i32);
             if scaled > best_scaled {
                 best_scaled = scaled;

@@ -58,7 +58,10 @@ impl std::fmt::Display for ScalingError {
             ),
             ScalingError::BadInput(msg) => write!(f, "bad scaling input: {msg}"),
             ScalingError::NoConvergence { residual } => {
-                write!(f, "scaling solver did not converge (residual {residual:.2e})")
+                write!(
+                    f,
+                    "scaling solver did not converge (residual {residual:.2e})"
+                )
             }
         }
     }
@@ -82,7 +85,7 @@ impl std::error::Error for ScalingError {}
 /// assert!((a2 - 2.83).abs() < 0.01);
 /// ```
 pub fn alpha_two_partitions(i1: f64, s1: f64, r: usize) -> Result<f64, ScalingError> {
-    if !(0.0..=1.0).contains(&i1) || !(s1 > 0.0 && s1 < 1.0) {
+    if !((0.0..=1.0).contains(&i1) && s1 > 0.0 && s1 < 1.0) {
         return Err(ScalingError::BadInput(format!(
             "need 0 <= I1 <= 1 and 0 < S1 < 1, got I1={i1}, S1={s1}"
         )));
@@ -325,8 +328,7 @@ mod tests {
     fn solver_agrees_with_closed_form_two_partitions() {
         for (i1, s1) in [(0.1, 0.8), (0.3, 0.6), (0.4, 0.65), (0.45, 0.5)] {
             let closed = alpha_two_partitions(i1, s1, 16).unwrap();
-            let solved =
-                solve_scaling_factors(&[i1, 1.0 - i1], &[s1, 1.0 - s1], 16).unwrap();
+            let solved = solve_scaling_factors(&[i1, 1.0 - i1], &[s1, 1.0 - s1], 16).unwrap();
             assert!((solved[0] - 1.0).abs() < 1e-3, "{solved:?}");
             assert!(
                 (solved[1] - closed).abs() / closed < 0.02,

@@ -14,8 +14,8 @@
 //! evaluation does; the shadow never influences replacement decisions.
 
 use crate::pool::TreapPool;
-use cachesim::{AccessMeta, FutilityRanking, PartitionId};
 use cachesim::fxmap::FxHashMap;
+use cachesim::{AccessMeta, FutilityRanking, PartitionId};
 
 /// Number of timestamp buckets per partition "generation" (`K = size/16`).
 const BUCKETS_PER_SIZE: u64 = 16;

@@ -33,7 +33,9 @@ impl FutilityRanking for ExactLru {
     }
 
     fn reset(&mut self, pools: usize) {
-        self.pools = (0..pools).map(|i| TreapPool::new(0x1009 + i as u64)).collect();
+        self.pools = (0..pools)
+            .map(|i| TreapPool::new(0x1009 + i as u64))
+            .collect();
     }
 
     fn on_insert(&mut self, part: PartitionId, addr: u64, time: u64, _meta: AccessMeta) {
@@ -94,7 +96,7 @@ mod tests {
     }
 
     #[test]
-    fn pools_are_independent(){
+    fn pools_are_independent() {
         let mut r = ExactLru::new();
         r.reset(2);
         r.on_insert(PartitionId(0), 1, 1, META);

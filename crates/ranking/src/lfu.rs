@@ -3,8 +3,8 @@
 //! tiebreaker among equally-hot lines.
 
 use crate::pool::TreapPool;
-use cachesim::{AccessMeta, FutilityRanking, PartitionId};
 use cachesim::fxmap::FxHashMap;
+use cachesim::{AccessMeta, FutilityRanking, PartitionId};
 
 /// Bits of the composite key reserved for the recency tiebreak.
 const TIME_BITS: u32 = 44;
@@ -51,7 +51,9 @@ impl FutilityRanking for Lfu {
     }
 
     fn reset(&mut self, pools: usize) {
-        self.pools = (0..pools).map(|i| TreapPool::new(0x1F0 + i as u64)).collect();
+        self.pools = (0..pools)
+            .map(|i| TreapPool::new(0x1F0 + i as u64))
+            .collect();
         self.counts = (0..pools).map(|_| FxHashMap::default()).collect();
     }
 

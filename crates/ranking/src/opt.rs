@@ -40,7 +40,9 @@ impl FutilityRanking for Opt {
     }
 
     fn reset(&mut self, pools: usize) {
-        self.pools = (0..pools).map(|i| TreapPool::new(0x0B75 + i as u64)).collect();
+        self.pools = (0..pools)
+            .map(|i| TreapPool::new(0x0B75 + i as u64))
+            .collect();
     }
 
     fn on_insert(&mut self, part: PartitionId, addr: u64, _time: u64, meta: AccessMeta) {

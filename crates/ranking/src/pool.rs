@@ -1,7 +1,7 @@
 //! Shared per-partition order-statistic pool used by the exact rankings.
 
-use cachesim::ostree::OsTreap;
 use cachesim::fxmap::FxHashMap;
+use cachesim::ostree::OsTreap;
 
 /// One partition's worth of ranking state: an order-statistic treap over
 /// `(key, addr)` pairs plus an address → key map.

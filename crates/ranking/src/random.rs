@@ -130,12 +130,8 @@ mod tests {
         for addr in 0..100u64 {
             r.on_insert(P, addr, addr, META);
         }
-        let max = (0..100u64)
-            .map(|a| r.futility(P, a))
-            .fold(0.0f64, f64::max);
-        let min = (0..100u64)
-            .map(|a| r.futility(P, a))
-            .fold(1.0f64, f64::min);
+        let max = (0..100u64).map(|a| r.futility(P, a)).fold(0.0f64, f64::max);
+        let min = (0..100u64).map(|a| r.futility(P, a)).fold(1.0f64, f64::min);
         assert!((max - 1.0).abs() < 1e-12);
         assert!((min - 0.01).abs() < 1e-12);
     }

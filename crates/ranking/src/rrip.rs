@@ -87,7 +87,9 @@ impl FutilityRanking for Rrip {
     }
 
     fn reset(&mut self, pools: usize) {
-        self.pools = (0..pools).map(|i| RripPool::new(0x4219 + i as u64)).collect();
+        self.pools = (0..pools)
+            .map(|i| RripPool::new(0x4219 + i as u64))
+            .collect();
     }
 
     fn on_insert(&mut self, part: PartitionId, addr: u64, time: u64, _meta: AccessMeta) {
@@ -134,7 +136,11 @@ impl FutilityRanking for Rrip {
     }
 
     fn futility(&self, part: PartitionId, addr: u64) -> f64 {
-        match self.pools.get(part.index()).and_then(|p| p.effective_rrpv(addr)) {
+        match self
+            .pools
+            .get(part.index())
+            .and_then(|p| p.effective_rrpv(addr))
+        {
             Some(r) => (r as f64 + 1.0) / (MAX_RRPV as f64 + 1.0),
             None => 0.0,
         }

@@ -11,10 +11,10 @@
 //!   cache partitioning driven by Mattson stack-distance miss curves
 //!   (an extension beyond the paper's static policy).
 
+use cachesim::fxmap::FxHashMap;
 use cachesim::ostree::OsTreap;
 use cachesim::umon::Umon;
 use cachesim::Trace;
-use cachesim::fxmap::FxHashMap;
 use std::collections::HashMap;
 
 /// Divide `total` lines evenly among `n` partitions; the first
@@ -49,7 +49,10 @@ pub fn static_qos(
     if backgrounds > 0 {
         targets.extend(equal_share(total - guaranteed, backgrounds));
     } else {
-        assert_eq!(guaranteed, total, "leftover lines with no background threads");
+        assert_eq!(
+            guaranteed, total,
+            "leftover lines with no background threads"
+        );
     }
     targets
 }
@@ -134,7 +137,6 @@ pub fn ucp_allocate(hits: &[Vec<f64>], blocks: usize) -> Vec<usize> {
     }
     alloc
 }
-
 
 /// Convert online UMON measurements into UCP line targets: each
 /// monitor's hit curve (indexed by shadow ways) is resampled onto

@@ -169,9 +169,7 @@ impl System {
                     a.inst_gap as u64,
                 )
             };
-            let outcome = self
-                .cache
-                .access(PartitionId(idx as u16), addr, meta);
+            let outcome = self.cache.access(PartitionId(idx as u16), addr, meta);
             let latency = if outcome.is_hit() {
                 self.config.l2_hit_cycles
             } else {
@@ -285,10 +283,7 @@ mod tests {
         let mut sys = System::new(
             SystemConfig::micro2014(),
             cache,
-            vec![
-                Thread::new("a", mk(0)),
-                Thread::new("b", mk(1 << 30)),
-            ],
+            vec![Thread::new("a", mk(0)), Thread::new("b", mk(1 << 30))],
         );
         let r = sys.run(0.0);
         assert!(r.threads[0].ipc() <= solo_ipc);
@@ -312,6 +307,10 @@ mod tests {
         let mut sys = one_thread_system(trace, 8192);
         let r = sys.run(0.0);
         let t = &r.threads[0];
-        assert!((t.mpki() - 100.0).abs() < 1.0, "all miss at 10 ipa: {}", t.mpki());
+        assert!(
+            (t.mpki() - 100.0).abs() < 1.0,
+            "all miss at 10 ipa: {}",
+            t.mpki()
+        );
     }
 }

@@ -1,0 +1,218 @@
+//! Built-in generators: integer ranges, vectors, hash sets.
+
+use crate::Gen;
+use cachesim::prng::{Prng, UniformInt};
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Uniform integer in `[lo, hi)`, shrinking toward `lo`.
+#[derive(Clone, Debug)]
+pub struct RangeGen<T> {
+    lo: T,
+    hi: T,
+}
+
+/// Generator for a half-open integer range, e.g. `int_range(0u64..200)`.
+///
+/// # Panics
+/// Panics if the range is empty.
+pub fn int_range<T: UniformInt + Ord>(range: Range<T>) -> RangeGen<T> {
+    assert!(range.start < range.end, "int_range on empty range");
+    RangeGen {
+        lo: range.start,
+        hi: range.end,
+    }
+}
+
+impl<T> Gen for RangeGen<T>
+where
+    T: UniformInt + Ord + Clone + std::fmt::Debug,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Prng) -> T {
+        let span = self.hi.to_u64() - self.lo.to_u64();
+        self.lo.offset(rng.gen_range(0..span))
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let v = value.to_u64();
+        let lo = self.lo.to_u64();
+        let mut out = Vec::new();
+        if v > lo {
+            // Jump to the minimum, then bisect toward the value, then
+            // try the immediate predecessor.
+            out.push(self.lo);
+            let mid = lo + (v - lo) / 2;
+            if mid > lo && mid < v {
+                out.push(self.lo.offset(mid - lo));
+            }
+            out.push(self.lo.offset(v - 1 - lo));
+            out.dedup_by_key(|x| x.to_u64());
+        }
+        out
+    }
+}
+
+/// Vector of values from an element generator, shrinking by removing
+/// chunks/elements and by shrinking individual elements.
+#[derive(Clone, Debug)]
+pub struct VecGen<G> {
+    elem: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Generator for vectors with length in `len` (half-open), e.g.
+/// `vec_of(int_range(0u8..4), 1..400)`.
+///
+/// # Panics
+/// Panics if the length range is empty.
+pub fn vec_of<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "vec_of on empty length range");
+    VecGen {
+        elem,
+        min_len: len.start,
+        max_len: len.end,
+    }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Prng) -> Self::Value {
+        let len = rng.gen_range(self.min_len..self.max_len);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        let n = value.len();
+        // Structural shrinks first: halves, then single removals.
+        if n / 2 >= self.min_len && n > 1 {
+            out.push(value[..n / 2].to_vec());
+            out.push(value[n - n / 2..].to_vec());
+        }
+        if n > self.min_len {
+            let step = (n / 8).max(1);
+            for i in (0..n).step_by(step) {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // Element shrinks at a few positions.
+        let step = (n / 4).max(1);
+        for i in (0..n).step_by(step) {
+            for e in self.elem.shrink(&value[i]).into_iter().take(3) {
+                let mut v = value.clone();
+                v[i] = e;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Hash set of values from an element generator.
+#[derive(Clone, Debug)]
+pub struct SetGen<G> {
+    elem: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Generator for hash sets with size in `len` (half-open), e.g.
+/// `set_of(int_range(0u64..500), 1..60)`. The element generator's
+/// support must comfortably exceed `len.end`.
+///
+/// # Panics
+/// Panics if the length range is empty.
+pub fn set_of<G>(elem: G, len: Range<usize>) -> SetGen<G>
+where
+    G: Gen,
+    G::Value: Eq + Hash,
+{
+    assert!(len.start < len.end, "set_of on empty length range");
+    SetGen {
+        elem,
+        min_len: len.start,
+        max_len: len.end,
+    }
+}
+
+impl<G> Gen for SetGen<G>
+where
+    G: Gen,
+    G::Value: Eq + Hash,
+{
+    type Value = HashSet<G::Value>;
+
+    fn generate(&self, rng: &mut Prng) -> Self::Value {
+        let target = rng.gen_range(self.min_len..self.max_len);
+        let mut out = HashSet::with_capacity(target);
+        // Collisions just retry; bail out (with whatever was collected)
+        // if the support is too tight to ever reach the target.
+        let mut attempts = 0;
+        while out.len() < target && attempts < 20 * self.max_len {
+            out.insert(self.elem.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        if value.len() > self.min_len {
+            for drop in value.iter().take(8) {
+                let mut v = value.clone();
+                v.remove(&drop.clone());
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_respects_bounds_and_shrinks_down() {
+        let g = int_range(10u64..20);
+        let mut rng = Prng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = g.generate(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+        let shrinks = g.shrink(&17);
+        assert!(shrinks.contains(&10), "jump to min: {shrinks:?}");
+        assert!(shrinks.iter().all(|&s| s < 17));
+        assert!(g.shrink(&10).is_empty(), "minimum cannot shrink");
+    }
+
+    #[test]
+    fn vec_lengths_and_shrinks_respect_min() {
+        let g = vec_of(int_range(0u32..5), 2..6);
+        let mut rng = Prng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = g.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+        let shrinks = g.shrink(&vec![4, 3, 2, 1, 0]);
+        assert!(shrinks.iter().all(|s| s.len() >= 2));
+        assert!(shrinks.iter().any(|s| s.len() < 5), "removal happens");
+    }
+
+    #[test]
+    fn set_sizes_in_range() {
+        let g = set_of(int_range(0u64..500), 1..60);
+        let mut rng = Prng::seed_from_u64(3);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 60);
+        }
+    }
+}

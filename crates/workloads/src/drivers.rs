@@ -10,9 +10,8 @@
 //!   that belongs to Partition i is equal to the pre-configured
 //!   insertion rate I_i)."
 
+use cachesim::prng::Prng;
 use cachesim::{AccessMeta, PartitionId, PartitionedCache, Trace};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// One thread's replay cursor.
 struct Cursor {
@@ -86,7 +85,7 @@ impl InterleavedDriver {
 pub struct RateControlledDriver {
     cursors: Vec<Cursor>,
     rates: Vec<f64>,
-    rng: SmallRng,
+    rng: Prng,
 }
 
 impl RateControlledDriver {
@@ -105,7 +104,7 @@ impl RateControlledDriver {
         RateControlledDriver {
             cursors: traces.into_iter().map(Cursor::new).collect(),
             rates,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
         }
     }
 
@@ -118,7 +117,7 @@ impl RateControlledDriver {
         let mut driven = 0u64;
         'outer: while driven < insertions {
             // Sample the partition of the next insertion.
-            let x: f64 = self.rng.gen();
+            let x = self.rng.next_f64();
             let mut acc = 0.0;
             let mut part = self.cursors.len() - 1;
             for (i, &r) in self.rates.iter().enumerate() {
@@ -166,8 +165,7 @@ mod tests {
         InterleavedDriver::new(vec![t0, t1]).run(&mut c, 0.0);
         let s = c.stats();
         assert_eq!(
-            s.partition(PartitionId(0)).accesses()
-                + s.partition(PartitionId(1)).accesses(),
+            s.partition(PartitionId(0)).accesses() + s.partition(PartitionId(1)).accesses(),
             200
         );
     }
@@ -211,10 +209,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rejects_bad_rates() {
-        let _ = RateControlledDriver::new(
-            vec![Trace::new(), Trace::new()],
-            vec![0.5, 0.6],
-            1,
-        );
+        let _ = RateControlledDriver::new(vec![Trace::new(), Trace::new()], vec![0.5, 0.6], 1);
     }
 }

@@ -44,7 +44,8 @@ pub fn load_trace<R: Read>(mut r: R) -> io::Result<Trace> {
         return Err(bad("not an FSTR1 trace"));
     }
     let mut count = [0u8; 8];
-    r.read_exact(&mut count).map_err(|_| bad("truncated count"))?;
+    r.read_exact(&mut count)
+        .map_err(|_| bad("truncated count"))?;
     let count = u64::from_le_bytes(count);
     let mut accesses = Vec::with_capacity(count.min(1 << 24) as usize);
     let mut rec = [0u8; 12];
@@ -72,8 +73,7 @@ pub fn parse_text_trace<R: BufRead>(r: R) -> io::Result<Trace> {
         }
         let mut parts = body.split_whitespace();
         let addr_tok = parts.next().expect("non-empty body");
-        let addr = parse_u64(addr_tok)
-            .ok_or_else(|| bad_at("bad address", lineno as u64 + 1))?;
+        let addr = parse_u64(addr_tok).ok_or_else(|| bad_at("bad address", lineno as u64 + 1))?;
         let gap = match parts.next() {
             Some(tok) => tok
                 .parse::<u32>()

@@ -3,7 +3,7 @@
 //! address space and emits line offsets within it.
 
 use crate::zipf::Zipf;
-use rand::rngs::SmallRng;
+use cachesim::prng::Prng;
 
 /// Declarative description of one pattern (sizes in cache lines).
 #[derive(Clone, Debug, PartialEq)]
@@ -61,8 +61,16 @@ impl PatternSpec {
     /// Instantiate runtime state with the region based at `base`.
     pub fn instantiate(&self, base: u64, seed: u64) -> Pattern {
         let state = match *self {
-            PatternSpec::Stream { lines } => State::Cursor { lines, pos: 0, step: 1 },
-            PatternSpec::Loop { lines } => State::Cursor { lines, pos: 0, step: 1 },
+            PatternSpec::Stream { lines } => State::Cursor {
+                lines,
+                pos: 0,
+                step: 1,
+            },
+            PatternSpec::Loop { lines } => State::Cursor {
+                lines,
+                pos: 0,
+                step: 1,
+            },
             PatternSpec::Zipf { lines, exponent } => State::Zipf {
                 dist: Zipf::new(lines as usize, exponent),
                 perm_seed: seed,
@@ -87,9 +95,21 @@ impl PatternSpec {
 
 #[derive(Clone, Debug)]
 enum State {
-    Cursor { lines: u64, pos: u64, step: u64 },
-    Zipf { dist: Zipf, perm_seed: u64, lines: u64 },
-    Chase { lines: u64, pos: u64, mult: u64 },
+    Cursor {
+        lines: u64,
+        pos: u64,
+        step: u64,
+    },
+    Zipf {
+        dist: Zipf,
+        perm_seed: u64,
+        lines: u64,
+    },
+    Chase {
+        lines: u64,
+        pos: u64,
+        mult: u64,
+    },
 }
 
 /// Runtime state of an instantiated pattern.
@@ -101,7 +121,7 @@ pub struct Pattern {
 
 impl Pattern {
     /// Emit the next line address.
-    pub fn next_addr(&mut self, rng: &mut SmallRng) -> u64 {
+    pub fn next_addr(&mut self, rng: &mut Prng) -> u64 {
         let off = match &mut self.state {
             State::Cursor { lines, pos, step } => {
                 let cur = *pos;
@@ -113,7 +133,11 @@ impl Pattern {
                 }
                 cur
             }
-            State::Zipf { dist, perm_seed, lines } => {
+            State::Zipf {
+                dist,
+                perm_seed,
+                lines,
+            } => {
                 let rank = dist.sample(rng) as u64;
                 // Scatter ranks across the region so hot lines are not
                 // physically adjacent (defeats trivial spatial locality).
@@ -142,8 +166,7 @@ impl Pattern {
 /// Convenience: generate `n` addresses from a single spec (tests and
 /// examples).
 pub fn sample_addresses(spec: &PatternSpec, n: usize, seed: u64) -> Vec<u64> {
-    use rand::SeedableRng;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut p = spec.instantiate(0, seed);
     (0..n).map(|_| p.next_addr(&mut rng)).collect()
 }
@@ -232,8 +255,7 @@ mod tests {
     #[test]
     fn base_offsets_the_region() {
         let mut p = PatternSpec::Stream { lines: 4 }.instantiate(1000, 0);
-        use rand::SeedableRng;
-        let mut rng = SmallRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         assert_eq!(p.next_addr(&mut rng), 1000);
         assert_eq!(p.base(), 1000);
     }

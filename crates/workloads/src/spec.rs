@@ -9,9 +9,8 @@
 //! where extra associativity can hurt.
 
 use crate::patterns::{Pattern, PatternSpec};
+use cachesim::prng::Prng;
 use cachesim::{Access, Trace};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A synthetic benchmark: a pattern mixture plus timing parameters.
 #[derive(Clone, Debug)]
@@ -38,7 +37,10 @@ impl BenchmarkProfile {
         mean_burst: u32,
     ) -> Self {
         assert!(!mix.is_empty(), "mixture must not be empty");
-        assert!(mix.iter().all(|(w, _)| *w > 0.0), "weights must be positive");
+        assert!(
+            mix.iter().all(|(w, _)| *w > 0.0),
+            "weights must be positive"
+        );
         BenchmarkProfile {
             name,
             mix,
@@ -71,7 +73,7 @@ impl BenchmarkProfile {
     /// `base` (use distinct bases to keep threads' address spaces
     /// disjoint).
     pub fn generate_with_base(&self, len: usize, seed: u64, base: u64) -> Trace {
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+        let mut rng = Prng::seed_from_u64(seed ^ 0xC0FF_EE00);
         // Lay the pattern regions out back to back with a guard gap.
         let mut patterns: Vec<Pattern> = Vec::with_capacity(self.mix.len());
         let mut cursor = base;
@@ -87,7 +89,7 @@ impl BenchmarkProfile {
         while accesses.len() < len {
             if remaining_burst == 0 {
                 // Pick the next pattern by weight.
-                let mut x: f64 = rng.gen::<f64>() * total_weight;
+                let mut x: f64 = rng.next_f64() * total_weight;
                 current = self.mix.len() - 1;
                 for (i, (w, _)) in self.mix.iter().enumerate() {
                     if x < *w {
@@ -132,7 +134,13 @@ pub fn benchmark(name: &str) -> Option<BenchmarkProfile> {
         "mcf" => BenchmarkProfile::new(
             "mcf",
             vec![
-                (0.65, Zipf { lines: 65_536, exponent: 0.75 }),
+                (
+                    0.65,
+                    Zipf {
+                        lines: 65_536,
+                        exponent: 0.75,
+                    },
+                ),
                 (0.25, PointerChase { lines: 16_384 }),
                 (0.10, Stream { lines: 32_768 }),
             ],
@@ -143,7 +151,13 @@ pub fn benchmark(name: &str) -> Option<BenchmarkProfile> {
         "omnetpp" => BenchmarkProfile::new(
             "omnetpp",
             vec![
-                (0.55, Zipf { lines: 32_768, exponent: 0.60 }),
+                (
+                    0.55,
+                    Zipf {
+                        lines: 32_768,
+                        exponent: 0.60,
+                    },
+                ),
                 (0.25, PointerChase { lines: 8_192 }),
                 (0.20, Loop { lines: 2_048 }),
             ],
@@ -157,7 +171,13 @@ pub fn benchmark(name: &str) -> Option<BenchmarkProfile> {
         "gromacs" => BenchmarkProfile::new(
             "gromacs",
             vec![
-                (0.60, Zipf { lines: 6_144, exponent: 0.90 }),
+                (
+                    0.60,
+                    Zipf {
+                        lines: 6_144,
+                        exponent: 0.90,
+                    },
+                ),
                 (0.25, Loop { lines: 1_024 }),
                 (0.15, Stream { lines: 8_192 }),
             ],
@@ -169,7 +189,13 @@ pub fn benchmark(name: &str) -> Option<BenchmarkProfile> {
             "h264ref",
             vec![
                 (0.50, Loop { lines: 768 }),
-                (0.40, Zipf { lines: 8_192, exponent: 0.80 }),
+                (
+                    0.40,
+                    Zipf {
+                        lines: 8_192,
+                        exponent: 0.80,
+                    },
+                ),
                 (0.10, Stream { lines: 4_096 }),
             ],
             30,
@@ -179,7 +205,13 @@ pub fn benchmark(name: &str) -> Option<BenchmarkProfile> {
         "astar" => BenchmarkProfile::new(
             "astar",
             vec![
-                (0.50, Zipf { lines: 16_384, exponent: 0.55 }),
+                (
+                    0.50,
+                    Zipf {
+                        lines: 16_384,
+                        exponent: 0.55,
+                    },
+                ),
                 (0.30, PointerChase { lines: 8_192 }),
                 (0.20, Loop { lines: 1_024 }),
             ],
@@ -193,8 +225,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkProfile> {
             "cactusadm",
             vec![
                 (0.60, Loop { lines: 131_072 }),
-                (0.25, Zipf { lines: 8_192, exponent: 0.60 }),
-                (0.15, StridedSweep { lines: 16_384, stride: 64 }),
+                (
+                    0.25,
+                    Zipf {
+                        lines: 8_192,
+                        exponent: 0.60,
+                    },
+                ),
+                (
+                    0.15,
+                    StridedSweep {
+                        lines: 16_384,
+                        stride: 64,
+                    },
+                ),
             ],
             9,
             64,
@@ -215,7 +259,13 @@ pub fn benchmark(name: &str) -> Option<BenchmarkProfile> {
             "lbm",
             vec![
                 (0.95, Stream { lines: 524_288 }),
-                (0.05, Zipf { lines: 1_024, exponent: 0.30 }),
+                (
+                    0.05,
+                    Zipf {
+                        lines: 1_024,
+                        exponent: 0.30,
+                    },
+                ),
             ],
             4,
             128,
@@ -266,8 +316,7 @@ mod tests {
         // within a window. lbm should be far more streaming.
         let reuse = |name: &str| -> f64 {
             let t = benchmark(name).unwrap().generate(50_000, 3);
-            let seen: std::collections::HashSet<u64> =
-                t.accesses.iter().map(|a| a.addr).collect();
+            let seen: std::collections::HashSet<u64> = t.accesses.iter().map(|a| a.addr).collect();
             1.0 - seen.len() as f64 / t.len() as f64
         };
         let lbm = reuse("lbm");

@@ -2,7 +2,7 @@
 //! rank `k` is drawn with probability proportional to `1 / (k+1)^s`.
 //! Used to model temporally skewed reuse (hot data structures).
 
-use rand::Rng;
+use cachesim::prng::Prng;
 
 /// Zipf distribution sampler with a precomputed cumulative table
 /// (`O(n)` memory, `O(log n)` per sample).
@@ -44,8 +44,8 @@ impl Zipf {
     }
 
     /// Draw one rank in `0..n` (rank 0 is the hottest).
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let x: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Prng) -> usize {
+        let x = rng.next_f64();
         match self
             .cumulative
             .binary_search_by(|c| c.partial_cmp(&x).expect("cumulative is finite"))
@@ -59,13 +59,11 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn rank_zero_is_hottest() {
         let z = Zipf::new(1000, 0.8);
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Prng::seed_from_u64(7);
         let mut counts = vec![0u32; 1000];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -77,7 +75,7 @@ mod tests {
     #[test]
     fn zero_exponent_is_roughly_uniform() {
         let z = Zipf::new(10, 0.0);
-        let mut rng = SmallRng::seed_from_u64(8);
+        let mut rng = Prng::seed_from_u64(8);
         let mut counts = vec![0u32; 10];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -90,7 +88,7 @@ mod tests {
     #[test]
     fn samples_stay_in_range() {
         let z = Zipf::new(3, 2.0);
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = Prng::seed_from_u64(9);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 3);
         }

@@ -30,7 +30,10 @@ fn aef_of_partition0(scheme: Box<dyn PartitionScheme>, n: usize) -> f64 {
 
 fn main() {
     println!("AEF of partition 0 (identical mcf threads, 128KB each, 16-way):\n");
-    println!("{:>4}  {:>8}  {:>12}  {:>7}", "N", "PF", "FS-feedback", "gap");
+    println!(
+        "{:>4}  {:>8}  {:>12}  {:>7}",
+        "N", "PF", "FS-feedback", "gap"
+    );
     for n in [1usize, 2, 4, 8, 16, 32] {
         let pf = aef_of_partition0(Box::new(Pf), n);
         let fs = aef_of_partition0(Box::new(FsFeedback::default_config()), n);

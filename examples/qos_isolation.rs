@@ -23,7 +23,11 @@ fn run(scheme_name: &str) -> (f64, f64, f64) {
         _ => unreachable!(),
     };
     let mut cache = PartitionedCache::new(
-        Box::new(SetAssociative::with_lines(TOTAL_LINES, 16, LineHash::new(7))),
+        Box::new(SetAssociative::with_lines(
+            TOTAL_LINES,
+            16,
+            LineHash::new(7),
+        )),
         Box::new(CoarseLru::new()),
         scheme,
         CORES,
@@ -75,7 +79,10 @@ fn main() {
     let mut shared_ipc = 0.0;
     for scheme in ["unpartitioned", "pf", "fs-feedback"] {
         let (occ, aef, ipc) = run(scheme);
-        println!("{scheme:>14}  {:>15.1}%  {aef:>11.3}  {ipc:>11.3}", occ * 100.0);
+        println!(
+            "{scheme:>14}  {:>15.1}%  {aef:>11.3}  {ipc:>11.3}",
+            occ * 100.0
+        );
         match scheme {
             "fs-feedback" => fs_ipc = ipc,
             "unpartitioned" => shared_ipc = ipc,

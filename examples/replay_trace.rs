@@ -6,7 +6,7 @@
 //! Without an argument, a small self-generated fixture is replayed.
 
 use futility_scaling::prelude::*;
-use workloads::{parse_text_trace, save_trace, load_trace};
+use workloads::{load_trace, parse_text_trace, save_trace};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = match std::env::args().nth(1) {
@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         1,
     );
     for (access, next_use) in trace.iter_with_next_use() {
-        cache.access(PartitionId(0), access.addr, AccessMeta::with_next_use(next_use));
+        cache.access(
+            PartitionId(0),
+            access.addr,
+            AccessMeta::with_next_use(next_use),
+        );
     }
     let stats = cache.stats().partition(PartitionId(0));
     println!(

@@ -19,9 +19,11 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            benchmark(name)
-                .expect("profile")
-                .generate_with_base(250_000, 7 + i as u64, (i as u64) << 40)
+            benchmark(name).expect("profile").generate_with_base(
+                250_000,
+                7 + i as u64,
+                (i as u64) << 40,
+            )
         })
         .collect();
 
@@ -49,7 +51,11 @@ fn main() {
     // 3. Enforce with feedback FS and compare against an equal split.
     let run = |targets: &[usize]| -> f64 {
         let mut cache = PartitionedCache::new(
-            Box::new(SetAssociative::with_lines(TOTAL_LINES, 16, LineHash::new(5))),
+            Box::new(SetAssociative::with_lines(
+                TOTAL_LINES,
+                16,
+                LineHash::new(5),
+            )),
             Box::new(CoarseLru::new()),
             Box::new(FsFeedback::default_config()),
             3,

@@ -1,9 +1,17 @@
 #!/bin/bash
-# Regenerate every figure/table and the ablations; tee into results/.
+# Regenerate every figure/table (one parallel sweep) plus the ablations;
+# tee into results/. The sweep's CSVs are byte-identical for any --jobs
+# value, so this script is free to use every core.
 set -u
 cd "$(dirname "$0")"
 mkdir -p results
-for bin in table2 fig1 fig3 fig4 fig7 fig2 fig5 fig6 fig8 ablation_arrays ablation_rankings ablation_resize; do
+
+echo "=== all figures/tables ($(date +%H:%M:%S), $(nproc) jobs) ==="
+cargo run --release -q -p fs-bench --bin all -- --jobs "$(nproc)" \
+    > results/all_figures_full.txt 2> >(tail -1 >&2)
+echo "    exit $?"
+
+for bin in ablation_arrays ablation_rankings ablation_resize; do
     echo "=== $bin ($(date +%H:%M:%S)) ==="
     cargo run --release -q -p fs-bench --bin "$bin" > "results/${bin}_full.txt" 2>&1
     echo "    exit $?"

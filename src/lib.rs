@@ -45,13 +45,13 @@
 //! assert!((s.actual[0] as f64 / 12_288.0 - 1.0).abs() < 0.08);
 //! ```
 
+pub use analysis as reports;
+pub use baselines as schemes;
 pub use cachesim as sim;
 pub use futility_core as fs;
 pub use ranking as rankings;
-pub use baselines as schemes;
-pub use workloads as spec_workloads;
 pub use simqos as qos;
-pub use analysis as reports;
+pub use workloads as spec_workloads;
 
 /// The most common imports for working with the library.
 pub mod prelude {

@@ -5,12 +5,7 @@ use futility_scaling::prelude::*;
 
 fn streaming_traces(n: usize, len: usize) -> Vec<Trace> {
     (0..n)
-        .map(|i| {
-            Trace::from_addrs(
-                (0..len as u64).map(move |k| ((i as u64) << 40) + k),
-                1,
-            )
-        })
+        .map(|i| Trace::from_addrs((0..len as u64).map(move |k| ((i as u64) << 40) + k), 1))
         .collect()
 }
 
@@ -26,7 +21,7 @@ fn vantage_forced_eviction_rate_matches_theory() {
         8,
     );
     // Vantage's contract: managed targets sum to (1-u) of the array.
-    cache.set_targets(&vec![lines * 9 / 10 / 8; 8]);
+    cache.set_targets(&[lines * 9 / 10 / 8; 8]);
     let traces = streaming_traces(8, 120_000);
     InterleavedDriver::new(traces).run(&mut cache, 0.0);
     // Re-derive the rate analytically: with the unmanaged pool holding
@@ -137,7 +132,7 @@ fn vantage_promotion_preserves_hot_lines() {
         2,
     );
     cache.set_targets(&[512, 410]); // ~90% managed
-    // Partition 0 hammers a tiny hot set while partition 1 streams.
+                                    // Partition 0 hammers a tiny hot set while partition 1 streams.
     for i in 0..400_000u64 {
         if i % 4 == 0 {
             cache.access(PartitionId(0), i % 64, AccessMeta::default());

@@ -56,7 +56,11 @@ fn vantage_demotion_and_promotion_through_engine() {
         .expect("some line is unmanaged");
     cache.access(PartitionId(1), promoted, AccessMeta::default());
     let state = cache.state();
-    assert_eq!(state.actual[2], unmanaged_before - 1, "hit promoted the line");
+    assert_eq!(
+        state.actual[2],
+        unmanaged_before - 1,
+        "hit promoted the line"
+    );
     let slot = cache.array().lookup(promoted).expect("still resident");
     assert_eq!(
         cache.array().occupant(slot).expect("occupied").part,
@@ -103,8 +107,12 @@ fn simulation_is_deterministic() {
         );
         cache.set_targets(&[700, 324]);
         let traces = vec![
-            benchmark("mcf").expect("profile").generate_with_base(50_000, 5, 0),
-            benchmark("lbm").expect("profile").generate_with_base(50_000, 6, 1 << 40),
+            benchmark("mcf")
+                .expect("profile")
+                .generate_with_base(50_000, 5, 0),
+            benchmark("lbm")
+                .expect("profile")
+                .generate_with_base(50_000, 6, 1 << 40),
         ];
         InterleavedDriver::new(traces).run(&mut cache, 0.0);
         (
@@ -126,7 +134,14 @@ fn simulation_is_deterministic() {
 /// scheme without violating occupancy accounting (randomized smoke).
 #[test]
 fn all_schemes_and_rankings_compose_on_skew_array() {
-    for scheme_name in ["pf", "cqvp", "prism", "vantage", "fs-feedback", "unpartitioned"] {
+    for scheme_name in [
+        "pf",
+        "cqvp",
+        "prism",
+        "vantage",
+        "fs-feedback",
+        "unpartitioned",
+    ] {
         for ranking_name in ["lru", "coarse-lru", "lfu", "opt", "random", "rrip"] {
             let scheme: Box<dyn PartitionScheme> = match scheme_name {
                 "fs-feedback" => Box::new(FsFeedback::default_config()),

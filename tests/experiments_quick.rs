@@ -1,0 +1,93 @@
+//! Integration smoke tests for the parallel experiment runner: every
+//! figure/table experiment must produce a non-empty CSV with its
+//! declared header, and the output must be byte-identical regardless of
+//! the worker count. Runs at `Smoke` scale so the whole sweep finishes
+//! in seconds even in debug builds.
+
+use fs_bench::experiments;
+use fs_bench::Scale;
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("fs_bench_experiments_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn all_experiments_produce_csvs_with_expected_headers() {
+    let dir = scratch_dir("smoke");
+    let exps = experiments::all();
+    let summaries = experiments::run_experiments(&exps, Scale::Smoke, 4, &dir, false, false);
+    assert_eq!(summaries.len(), exps.len(), "one summary per experiment");
+
+    for (exp, summary) in exps.iter().zip(&summaries) {
+        let path = dir.join(format!("{}.csv", exp.csv));
+        assert_eq!(summary.csv_path, path);
+        let contents = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{} must exist: {e}", path.display()));
+        let mut lines = contents.lines();
+        assert_eq!(
+            lines.next(),
+            Some(exp.header.join(",").as_str()),
+            "{}: header row",
+            exp.name
+        );
+        let data_rows = lines.count();
+        assert!(data_rows > 0, "{}: CSV has data rows", exp.name);
+        assert_eq!(data_rows, summary.rows, "{}: summary row count", exp.name);
+        assert!(summary.jobs > 0, "{}: at least one sweep point", exp.name);
+        // Every cell count matches the header width.
+        for line in contents.lines().skip(1) {
+            assert_eq!(
+                line.split(',').count(),
+                exp.header.len(),
+                "{}: row width matches header: {line}",
+                exp.name
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn csv_bytes_and_stats_are_thread_count_invariant() {
+    let exps = experiments::all();
+    let run = |tag: &str, jobs: usize| {
+        let dir = scratch_dir(tag);
+        let summaries = experiments::run_experiments(&exps, Scale::Smoke, jobs, &dir, false, false);
+        let csvs: HashMap<String, Vec<u8>> = exps
+            .iter()
+            .map(|e| {
+                let bytes = fs::read(dir.join(format!("{}.csv", e.csv))).expect("csv");
+                (e.csv.to_string(), bytes)
+            })
+            .collect();
+        // Aggregate stats, minus wall time (the only nondeterministic field).
+        let stats: Vec<(&str, usize, usize, Option<f64>)> = summaries
+            .iter()
+            .map(|s| (s.name, s.jobs, s.rows, s.mean_miss_rate))
+            .collect();
+        let _ = fs::remove_dir_all(&dir);
+        (csvs, stats)
+    };
+
+    let (csv_1, stats_1) = run("serial", 1);
+    let (csv_8, stats_8) = run("parallel", 8);
+
+    assert_eq!(
+        stats_1, stats_8,
+        "aggregate stats identical across thread counts"
+    );
+    for (name, bytes) in &csv_1 {
+        assert_eq!(
+            Some(bytes),
+            csv_8.get(name),
+            "{name}.csv byte-identical across thread counts"
+        );
+    }
+}

@@ -12,7 +12,11 @@ const CORES: usize = 6;
 
 fn subject_metrics(scheme: Box<dyn PartitionScheme>) -> (f64, f64) {
     let mut cache = PartitionedCache::new(
-        Box::new(SetAssociative::with_lines(TOTAL_LINES, 16, LineHash::new(4))),
+        Box::new(SetAssociative::with_lines(
+            TOTAL_LINES,
+            16,
+            LineHash::new(4),
+        )),
         Box::new(CoarseLru::new()),
         scheme,
         CORES,
@@ -94,8 +98,7 @@ fn fullassoc_bounds_every_realizable_scheme() {
         .collect();
     let mut sys = System::new(SystemConfig::micro2014(), cache, threads);
     let result = sys.run(0.3);
-    let ideal_ipc =
-        (0..SUBJECTS).map(|i| result.threads[i].ipc()).sum::<f64>() / SUBJECTS as f64;
+    let ideal_ipc = (0..SUBJECTS).map(|i| result.threads[i].ipc()).sum::<f64>() / SUBJECTS as f64;
     let (fs_ipc, _) = subject_metrics(Box::new(FsFeedback::default_config()));
     assert!(
         ideal_ipc >= fs_ipc * 0.97,
@@ -109,14 +112,19 @@ fn weighted_speedup_accounts_interference() {
     // share cache and memory bandwidth) but above 0.
     let solo_ipc = |name: &str, base: u64| -> f64 {
         let cache = PartitionedCache::new(
-            Box::new(SetAssociative::with_lines(TOTAL_LINES, 16, LineHash::new(4))),
+            Box::new(SetAssociative::with_lines(
+                TOTAL_LINES,
+                16,
+                LineHash::new(4),
+            )),
             Box::new(CoarseLru::new()),
             cachesim::evict_max_futility(),
             1,
         );
-        let trace = benchmark(name)
-            .expect("profile")
-            .generate_with_base(60_000, 60 + base, base << 40);
+        let trace =
+            benchmark(name)
+                .expect("profile")
+                .generate_with_base(60_000, 60 + base, base << 40);
         let mut sys = System::new(
             SystemConfig::micro2014(),
             cache,
@@ -127,7 +135,11 @@ fn weighted_speedup_accounts_interference() {
     let alone = [solo_ipc("gromacs", 0), solo_ipc("lbm", 1)];
 
     let cache = PartitionedCache::new(
-        Box::new(SetAssociative::with_lines(TOTAL_LINES, 16, LineHash::new(4))),
+        Box::new(SetAssociative::with_lines(
+            TOTAL_LINES,
+            16,
+            LineHash::new(4),
+        )),
         Box::new(CoarseLru::new()),
         cachesim::evict_max_futility(),
         2,
@@ -138,11 +150,15 @@ fn weighted_speedup_accounts_interference() {
         vec![
             Thread::new(
                 "gromacs",
-                benchmark("gromacs").expect("profile").generate_with_base(60_000, 60, 0),
+                benchmark("gromacs")
+                    .expect("profile")
+                    .generate_with_base(60_000, 60, 0),
             ),
             Thread::new(
                 "lbm",
-                benchmark("lbm").expect("profile").generate_with_base(60_000, 61, 1 << 40),
+                benchmark("lbm")
+                    .expect("profile")
+                    .generate_with_base(60_000, 61, 1 << 40),
             ),
         ],
     );
