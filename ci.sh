@@ -16,4 +16,11 @@ cargo fmt --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== bench_engine --smoke =="
+# Throughput trajectory: sweep the full array × ranking × scheme grid,
+# then check the emitted file has every cell and a sane geomean (the
+# validate step prints it into the CI log).
+cargo run --release --offline -q -p fs-bench --bin bench_engine -- --smoke --out BENCH_engine.json
+cargo run --release --offline -q -p fs-bench --bin bench_engine -- --validate BENCH_engine.json
+
 echo "CI OK"

@@ -77,25 +77,25 @@ impl Prism {
     fn recompute(&mut self, state: &PartitionState) {
         let n = state.targets.len();
         let total_ins: u64 = self.window_insertions.iter().sum();
-        let mut probs = vec![0.0f64; n];
-        for (i, prob) in probs.iter_mut().enumerate() {
+        // In place: recompute runs every window, so it must not allocate.
+        self.evict_prob.resize(n, 0.0);
+        for i in 0..n {
             let ins_frac = if total_ins == 0 {
                 1.0 / n as f64
             } else {
                 self.window_insertions[i] as f64 / total_ins as f64
             };
             let size_err = state.oversize(i) as f64 / self.window as f64;
-            *prob = (ins_frac + size_err).max(0.0);
+            self.evict_prob[i] = (ins_frac + size_err).max(0.0);
         }
-        let sum: f64 = probs.iter().sum();
+        let sum: f64 = self.evict_prob.iter().sum();
         if sum <= 0.0 {
-            probs.fill(1.0 / n as f64);
+            self.evict_prob.fill(1.0 / n as f64);
         } else {
-            for p in &mut probs {
+            for p in &mut self.evict_prob {
                 *p /= sum;
             }
         }
-        self.evict_prob = probs;
         self.window_insertions.fill(0);
         self.window_misses = 0;
     }

@@ -62,6 +62,10 @@ pub struct Vantage {
     /// distribution; this adapts the `f ≥ (1−A)` cut to rankings (like
     /// coarse timestamps) whose futility does not span the full [0,1].
     fmax: Vec<f64>,
+    /// Reused per-selection scratch: candidate indices currently in (or
+    /// just demoted to) the unmanaged region. Keeps `victim_into`
+    /// allocation-free.
+    in_unmanaged: Vec<usize>,
 }
 
 impl Vantage {
@@ -86,6 +90,7 @@ impl Vantage {
             selections: 0,
             demotions: 0,
             fmax: Vec::new(),
+            in_unmanaged: Vec::new(),
         }
     }
 
@@ -149,10 +154,22 @@ impl PartitionScheme for Vantage {
 
     fn victim(
         &mut self,
-        _incoming: PartitionId,
+        incoming: PartitionId,
         cands: &[Candidate],
         state: &PartitionState,
     ) -> VictimDecision {
+        let mut out = VictimDecision::default();
+        self.victim_into(incoming, cands, state, &mut out);
+        out
+    }
+
+    fn victim_into(
+        &mut self,
+        _incoming: PartitionId,
+        cands: &[Candidate],
+        state: &PartitionState,
+        out: &mut VictimDecision,
+    ) {
         self.selections += 1;
         let unmanaged = self.unmanaged_pool;
 
@@ -160,8 +177,9 @@ impl PartitionScheme for Vantage {
         // The aperture cut is taken against the pool's observed futility
         // range (a slowly decaying max), so it works for both exact
         // ranks (range [0,1]) and coarse timestamp distances.
-        let mut retags = Vec::new();
-        let mut in_unmanaged: Vec<usize> = Vec::new();
+        out.retags.clear();
+        let mut in_unmanaged = std::mem::take(&mut self.in_unmanaged);
+        in_unmanaged.clear();
         for (i, c) in cands.iter().enumerate() {
             if c.part == unmanaged {
                 in_unmanaged.push(i);
@@ -174,7 +192,7 @@ impl PartitionScheme for Vantage {
             self.fmax[idx] = (self.fmax[idx] * 0.9995).max(c.futility).max(1e-6);
             let aperture = self.aperture(c.part, state);
             if aperture > 0.0 && c.futility >= (1.0 - aperture) * self.fmax[idx] {
-                retags.push((i, unmanaged));
+                out.retags.push((i, unmanaged));
                 in_unmanaged.push(i);
                 self.demotions += 1;
             }
@@ -211,7 +229,8 @@ impl PartitionScheme for Vantage {
                     .map(|(i, _)| i)
                     .expect("non-empty candidates")
             });
-        VictimDecision { victim, retags }
+        self.in_unmanaged = in_unmanaged;
+        out.victim = victim;
     }
 
     fn on_foreign_hit(

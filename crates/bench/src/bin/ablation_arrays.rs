@@ -56,13 +56,12 @@ fn run(kind: &str, insertions: u64) -> Point {
     d.run(&mut cache, warmup);
     cache.stats_mut().reset();
     d.run(&mut cache, insertions);
-    let p0 = cache.stats().partition(PartitionId(0));
-    let p1 = cache.stats().partition(PartitionId(1));
+    let stats = cache.stats();
     Point {
-        occupancy: p0.avg_occupancy() / t0 as f64,
-        mad: p0.size_mad(),
-        aef0: p0.aef(),
-        aef1: p1.aef(),
+        occupancy: stats.avg_occupancy(PartitionId(0)) / t0 as f64,
+        mad: stats.size_mad(PartitionId(0)),
+        aef0: stats.partition(PartitionId(0)).aef(),
+        aef1: stats.partition(PartitionId(1)).aef(),
     }
 }
 

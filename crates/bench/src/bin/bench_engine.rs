@@ -1,0 +1,228 @@
+//! End-to-end engine throughput over the full array × ranking × scheme
+//! grid: one fixed deterministic trace, one cell per combination,
+//! accesses/sec per cell plus a geomean, emitted as machine-readable
+//! `BENCH_engine.json` so the perf trajectory is tracked from PR to PR.
+//!
+//! Usage:
+//!   bench_engine [--smoke|--quick] [--out FILE] [--filter SUBSTR]
+//!   bench_engine --validate FILE                  # check an emitted file
+//!
+//! `--filter` restricts measurement to cells whose `array/ranking/scheme`
+//! triple contains the substring — for quick one-component comparisons;
+//! a filtered file will not pass `--validate`.
+//!
+//! `ci.sh` runs the smoke version and then `--validate`s the emitted
+//! file: it must parse, contain a cell for every grid point, and carry a
+//! finite positive geomean (printed in the CI log).
+
+use cachesim::array::{CacheArray, FullyAssociative, RandomCandidates, SkewAssociative, ZCache};
+use cachesim::prng::{seed_for, Prng};
+use cachesim::{AccessMeta, PartitionId, PartitionedCache, Trace};
+use fs_bench::Scale;
+use std::time::Instant;
+
+const ARRAYS: [&str; 5] = [
+    "set-assoc",
+    "skew-assoc",
+    "zcache",
+    "rand-cands",
+    "fully-assoc",
+];
+const SCHEMES: [&str; 6] = [
+    "unpartitioned",
+    "pf",
+    "cqvp",
+    "fs-feedback",
+    "vantage",
+    "prism",
+];
+const PARTS: usize = 4;
+/// Cache size in lines at full scale (256KB of 64B lines).
+const FULL_LINES: usize = 4096;
+/// Trace length at full scale.
+const FULL_ACCESSES: usize = 100_000;
+/// Minimum timed accesses per cell (short traces are repeated so the
+/// smoke measurement is not pure timer noise).
+const MIN_TIMED: usize = 20_000;
+
+fn array_by_name(name: &str, lines: usize, seed: u64) -> Box<dyn CacheArray> {
+    match name {
+        "set-assoc" => fs_bench::l2_array(lines, seed),
+        "skew-assoc" => Box::new(SkewAssociative::new(lines / 16, 16, seed)),
+        "zcache" => Box::new(ZCache::new(lines / 4, 4, 16, seed)),
+        "rand-cands" => Box::new(RandomCandidates::new(lines, 16, seed)),
+        "fully-assoc" => Box::new(FullyAssociative::new(lines)),
+        other => panic!("unknown array {other}"),
+    }
+}
+
+/// The shared workload: partition-interleaved accesses over per-partition
+/// address namespaces (~4× the cache in total footprint, so the steady
+/// state is eviction-heavy), annotated with next-use for OPT.
+struct Workload {
+    parts: Vec<u16>,
+    addrs: Vec<u64>,
+    next_use: Vec<u64>,
+}
+
+impl Workload {
+    fn generate(accesses: usize, lines: usize) -> Workload {
+        let mut rng = Prng::seed_from_u64(seed_for("bench_engine", 0));
+        let universe = lines as u64; // per partition => 4× cache total
+        let mut parts = Vec::with_capacity(accesses);
+        let mut addrs = Vec::with_capacity(accesses);
+        for _ in 0..accesses {
+            let p: u16 = rng.gen_range(0..PARTS as u16);
+            parts.push(p);
+            addrs.push(p as u64 * 1_000_000 + rng.gen_range(0..universe));
+        }
+        let trace = Trace::from_addrs(addrs.iter().copied(), 1);
+        let next_use = trace.annotate_next_use();
+        Workload {
+            parts,
+            addrs,
+            next_use,
+        }
+    }
+
+    fn drive(&self, cache: &mut PartitionedCache) {
+        for i in 0..self.addrs.len() {
+            cache.access(
+                PartitionId(self.parts[i]),
+                self.addrs[i],
+                AccessMeta::with_next_use(self.next_use[i]),
+            );
+        }
+    }
+}
+
+fn measure_cell(array: &str, ranking: &str, scheme: &str, lines: usize, wl: &Workload) -> f64 {
+    let mut cache = PartitionedCache::new(
+        array_by_name(array, lines, 7),
+        fs_bench::futility_ranking(ranking),
+        fs_bench::scheme(scheme),
+        PARTS,
+    );
+    cache.stats_mut().sample_deviation = false;
+    // Warm up: fill the cache and size every internal structure.
+    wl.drive(&mut cache);
+    let reps = MIN_TIMED.div_ceil(wl.addrs.len()).max(1);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        wl.drive(&mut cache);
+    }
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    (reps * wl.addrs.len()) as f64 / dt
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Full => "full",
+        Scale::Quick => "quick",
+        Scale::Smoke => "smoke",
+    }
+}
+
+fn cli_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    })
+}
+
+fn run_grid() {
+    let scale = Scale::from_args();
+    let filter = cli_value("--filter");
+    let lines = scale.lines(FULL_LINES);
+    let accesses = scale.accesses(FULL_ACCESSES);
+    let wl = Workload::generate(accesses, lines);
+
+    let mut cells = String::new();
+    let mut log_sum = 0.0f64;
+    let mut n = 0usize;
+    for array in ARRAYS {
+        for ranking in ranking::ALL_RANKINGS {
+            for scheme in SCHEMES {
+                if let Some(f) = &filter {
+                    if !format!("{array}/{ranking}/{scheme}").contains(f.as_str()) {
+                        continue;
+                    }
+                }
+                let aps = measure_cell(array, ranking, scheme, lines, &wl);
+                if n > 0 {
+                    cells.push_str(",\n");
+                }
+                cells.push_str(&format!(
+                    "    {{\"array\":\"{array}\",\"ranking\":\"{ranking}\",\"scheme\":\"{scheme}\",\"accesses_per_sec\":{aps:.1}}}"
+                ));
+                log_sum += aps.ln();
+                n += 1;
+                println!("{array:12} {ranking:11} {scheme:14} {aps:>12.0} acc/s");
+            }
+        }
+    }
+    let geomean = (log_sum / n as f64).exp();
+    let json = format!(
+        "{{\n  \"bench\": \"bench_engine\",\n  \"scale\": \"{}\",\n  \"lines\": {},\n  \"partitions\": {},\n  \"trace_accesses\": {},\n  \"cells\": [\n{}\n  ],\n  \"geomean_accesses_per_sec\": {:.1}\n}}\n",
+        scale_name(scale),
+        lines,
+        PARTS,
+        accesses,
+        cells,
+        geomean
+    );
+    let out = cli_value("--out").unwrap_or_else(|| "BENCH_engine.json".into());
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\n{n} cells, geomean {geomean:.0} accesses/sec -> {out}");
+}
+
+/// Dependency-free validation of an emitted file: every grid point has a
+/// cell and the geomean parses to a finite positive number.
+fn validate(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let mut missing = 0usize;
+    for array in ARRAYS {
+        for ranking in ranking::ALL_RANKINGS {
+            for scheme in SCHEMES {
+                let needle = format!(
+                    "{{\"array\":\"{array}\",\"ranking\":\"{ranking}\",\"scheme\":\"{scheme}\",\"accesses_per_sec\":"
+                );
+                if !text.contains(&needle) {
+                    eprintln!("missing cell: {array} × {ranking} × {scheme}");
+                    missing += 1;
+                }
+            }
+        }
+    }
+    let geomean = text
+        .split("\"geomean_accesses_per_sec\":")
+        .nth(1)
+        .and_then(|s| {
+            let end = s.find('}')?;
+            s[..end].trim().parse::<f64>().ok()
+        });
+    match (missing, geomean) {
+        (0, Some(g)) if g.is_finite() && g > 0.0 => {
+            println!(
+                "{path} OK: {} cells, geomean {g:.0} accesses/sec",
+                ARRAYS.len() * ranking::ALL_RANKINGS.len() * SCHEMES.len()
+            );
+        }
+        (m, g) => {
+            eprintln!("{path} INVALID: {m} missing cells, geomean {g:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(i + 1).expect("--validate needs a file path");
+        validate(path);
+        return;
+    }
+    run_grid();
+}

@@ -75,7 +75,8 @@ fn run_one(scheme_name: &str, i1: f64, lines: usize, insertions: u64, seed: u64)
     driver.run(&mut cache, insertions);
 
     let label = format!("{scheme_name}(I1={i1})");
-    let p0 = cache.stats().partition(PartitionId(0));
+    let stats = cache.stats();
+    let p0 = stats.partition(PartitionId(0));
     let cdf = p0.size_deviation_cdf();
     let mean_dev = {
         let total: u64 = p0.size_dev_hist.values().sum();
@@ -91,7 +92,7 @@ fn run_one(scheme_name: &str, i1: f64, lines: usize, insertions: u64, seed: u64)
         .map(|&(d, p)| vec![label.clone(), d.to_string(), format!("{p:.5}")])
         .collect();
     JobOutput::rows(rows)
-        .with_stat("mad", p0.size_mad())
+        .with_stat("mad", stats.size_mad(PartitionId(0)))
         .with_stat("mean_dev", mean_dev)
         .with_stat("p_within_64", prob_within(&cdf, 64))
 }

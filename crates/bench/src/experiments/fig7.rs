@@ -134,9 +134,9 @@ fn run_one(
     let mut aef = 0.0;
     let mut ipc = 0.0;
     for i in 0..subjects {
-        let p = sys.cache().stats().partition(PartitionId(i as u16));
-        occ += p.avg_occupancy() / subject_lines as f64;
-        aef += p.aef();
+        let stats = sys.cache().stats();
+        occ += stats.avg_occupancy(PartitionId(i as u16)) / subject_lines as f64;
+        aef += stats.partition(PartitionId(i as u16)).aef();
         ipc += result.threads[i].ipc();
     }
     let n = subjects as f64;

@@ -95,12 +95,13 @@ fn run_one(
     driver.run(&mut cache, warmup);
     cache.stats_mut().reset();
     driver.run(&mut cache, insertions);
-    let p0 = cache.stats().partition(PartitionId(0));
-    let p1 = cache.stats().partition(PartitionId(1));
+    let stats = cache.stats();
+    let p0 = stats.partition(PartitionId(0));
+    let p1 = stats.partition(PartitionId(1));
     JobOutput::rows(vec![vec![
         knob.into(),
         value.into(),
-        format!("{:.2}", p1.size_mad()),
+        format!("{:.2}", stats.size_mad(PartitionId(1))),
         format!("{:.4}", p0.aef()),
         format!("{:.4}", p1.aef()),
     ]])

@@ -9,6 +9,7 @@
 
 use super::{CacheArray, SlotTable};
 use crate::ids::{Occupant, PartitionId, SlotId};
+use crate::scheme_api::Candidate;
 
 /// A fully-associative cache of `num_lines` lines.
 pub struct FullyAssociative {
@@ -57,6 +58,17 @@ impl CacheArray for FullyAssociative {
         if let Some(&slot) = self.free.last() {
             out.push(slot);
         }
+    }
+
+    fn fill_candidates(&mut self, _addr: u64, _out: &mut Vec<Candidate>) -> Option<SlotId> {
+        // A free slot while warming up, nothing once full: the engine's
+        // fully-associative path asks the ranking for victims instead of
+        // walking a candidate list.
+        self.free.last().copied()
+    }
+
+    fn lookup_occupant(&self, addr: u64) -> Option<(SlotId, Occupant)> {
+        self.table.lookup_occupant(addr)
     }
 
     fn evict(&mut self, slot: SlotId) {

@@ -28,6 +28,7 @@ pub use skew::SkewAssociative;
 pub use zcache::ZCache;
 
 use crate::ids::{Occupant, PartitionId, SlotId};
+use crate::scheme_api::Candidate;
 
 /// A physical cache array. All addresses are line addresses.
 ///
@@ -60,6 +61,45 @@ pub trait CacheArray: Send {
     /// return at least one slot unless the array reports itself as
     /// fully associative.
     fn candidate_slots(&mut self, addr: u64, out: &mut Vec<SlotId>);
+
+    /// Single-pass miss-path candidate walk: either the first *empty*
+    /// candidate slot in candidate order (`Some(slot)` — the incoming
+    /// line installs there, `out` may hold a partial prefix), or `None`
+    /// with one [`Candidate`] per occupied candidate slot appended to
+    /// `out` (futility left 0.0 for the ranking to fill). Must offer
+    /// exactly the slots [`candidate_slots`](Self::candidate_slots)
+    /// would, in the same order — including any internal RNG draws — so
+    /// replacement decisions are identical on both paths.
+    ///
+    /// The default delegates to `candidate_slots` plus per-slot
+    /// [`occupant`](Self::occupant) calls and allocates a temporary
+    /// slot list; concrete arrays override it with a fused walk that
+    /// touches each slot once and never allocates.
+    fn fill_candidates(&mut self, addr: u64, out: &mut Vec<Candidate>) -> Option<SlotId> {
+        let mut slots = Vec::with_capacity(self.candidates_per_eviction());
+        self.candidate_slots(addr, &mut slots);
+        for slot in slots {
+            match self.occupant(slot) {
+                Some(occ) => out.push(Candidate {
+                    slot,
+                    addr: occ.addr,
+                    part: occ.part,
+                    futility: 0.0,
+                }),
+                None => return Some(slot),
+            }
+        }
+        None
+    }
+
+    /// Fused [`lookup`](Self::lookup) + [`occupant`](Self::occupant):
+    /// the hit path needs both, and resolving them in one virtual call
+    /// halves its dispatch cost.
+    fn lookup_occupant(&self, addr: u64) -> Option<(SlotId, Occupant)> {
+        let slot = self.lookup(addr)?;
+        let occ = self.occupant(slot)?;
+        Some((slot, occ))
+    }
 
     /// Remove the occupant of `slot`.
     ///
@@ -123,6 +163,12 @@ impl SlotTable {
     #[inline]
     pub(crate) fn occupant(&self, slot: SlotId) -> Option<Occupant> {
         self.slots[slot as usize]
+    }
+
+    #[inline]
+    pub(crate) fn lookup_occupant(&self, addr: u64) -> Option<(SlotId, Occupant)> {
+        let slot = self.map.get(&addr).copied()?;
+        self.slots[slot as usize].map(|occ| (slot, occ))
     }
 
     pub(crate) fn evict(&mut self, slot: SlotId) {

@@ -7,6 +7,7 @@
 use super::{CacheArray, SlotTable};
 use crate::ids::{Occupant, PartitionId, SlotId};
 use crate::prng::Prng;
+use crate::scheme_api::Candidate;
 
 /// A cache array whose candidate list is `R` slots sampled uniformly at
 /// random (without replacement) from the whole array.
@@ -70,6 +71,35 @@ impl CacheArray for RandomCandidates {
                 out.push(s);
             }
         }
+    }
+
+    fn fill_candidates(&mut self, addr: u64, out: &mut Vec<Candidate>) -> Option<SlotId> {
+        let _ = addr;
+        // Warmup: a free slot is handed out directly, no occupants read.
+        if let Some(&slot) = self.free.last() {
+            return Some(slot);
+        }
+        // Full cache: identical rejection sampling to `candidate_slots`
+        // (same RNG draw sequence, same dedup-by-slot semantics), with
+        // the occupant fetched in the same pass.
+        let n = self.table.len() as u32;
+        while out.len() < self.r {
+            let s = self.rng.gen_range(0..n);
+            if !out.iter().any(|c| c.slot == s) {
+                let occ = self.table.occupant(s).expect("full cache has no empties");
+                out.push(Candidate {
+                    slot: s,
+                    addr: occ.addr,
+                    part: occ.part,
+                    futility: 0.0,
+                });
+            }
+        }
+        None
+    }
+
+    fn lookup_occupant(&self, addr: u64) -> Option<(SlotId, Occupant)> {
+        self.table.lookup_occupant(addr)
     }
 
     fn evict(&mut self, slot: SlotId) {

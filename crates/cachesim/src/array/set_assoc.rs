@@ -3,6 +3,7 @@
 use super::{CacheArray, SlotTable};
 use crate::hashing::IndexHash;
 use crate::ids::{Occupant, PartitionId, SlotId};
+use crate::scheme_api::Candidate;
 
 /// A `sets × ways` set-associative array. Slot `set * ways + way`.
 ///
@@ -89,6 +90,27 @@ impl CacheArray for SetAssociative {
         let set = self.set_of(addr);
         let base = (set * self.ways) as SlotId;
         out.extend(base..base + self.ways as SlotId);
+    }
+
+    fn fill_candidates(&mut self, addr: u64, out: &mut Vec<Candidate>) -> Option<SlotId> {
+        let set = self.set_of(addr);
+        let base = (set * self.ways) as SlotId;
+        for slot in base..base + self.ways as SlotId {
+            match self.table.occupant(slot) {
+                Some(occ) => out.push(Candidate {
+                    slot,
+                    addr: occ.addr,
+                    part: occ.part,
+                    futility: 0.0,
+                }),
+                None => return Some(slot),
+            }
+        }
+        None
+    }
+
+    fn lookup_occupant(&self, addr: u64) -> Option<(SlotId, Occupant)> {
+        self.table.lookup_occupant(addr)
     }
 
     fn evict(&mut self, slot: SlotId) {

@@ -7,6 +7,7 @@
 use super::{CacheArray, SlotTable};
 use crate::hashing::{IndexHash, LineHash};
 use crate::ids::{Occupant, PartitionId, SlotId};
+use crate::scheme_api::Candidate;
 
 /// A W-way skew-associative array of `sets * ways` lines; way `w` of
 /// address `a` lives at slot `w * sets + h_w(a) % sets`.
@@ -70,6 +71,26 @@ impl CacheArray for SkewAssociative {
         for w in 0..self.hashes.len() {
             out.push(self.way_slot(w, addr));
         }
+    }
+
+    fn fill_candidates(&mut self, addr: u64, out: &mut Vec<Candidate>) -> Option<SlotId> {
+        for w in 0..self.hashes.len() {
+            let slot = self.way_slot(w, addr);
+            match self.table.occupant(slot) {
+                Some(occ) => out.push(Candidate {
+                    slot,
+                    addr: occ.addr,
+                    part: occ.part,
+                    futility: 0.0,
+                }),
+                None => return Some(slot),
+            }
+        }
+        None
+    }
+
+    fn lookup_occupant(&self, addr: u64) -> Option<(SlotId, Occupant)> {
+        self.table.lookup_occupant(addr)
     }
 
     fn evict(&mut self, slot: SlotId) {

@@ -10,6 +10,7 @@
 use super::{CacheArray, SlotTable};
 use crate::hashing::{IndexHash, LineHash};
 use crate::ids::{Occupant, PartitionId, SlotId};
+use crate::scheme_api::Candidate;
 
 /// Per-candidate expansion record: how the walk reached this slot.
 #[derive(Copy, Clone, Debug)]
@@ -59,31 +60,13 @@ impl ZCache {
     fn way_of(&self, slot: SlotId) -> usize {
         slot as usize / self.sets
     }
-}
 
-impl CacheArray for ZCache {
-    fn name(&self) -> &'static str {
-        "zcache"
-    }
-
-    fn num_slots(&self) -> usize {
-        self.table.len()
-    }
-
-    fn candidates_per_eviction(&self) -> usize {
-        self.r
-    }
-
-    fn lookup(&self, addr: u64) -> Option<SlotId> {
-        self.table.lookup(addr)
-    }
-
-    fn occupant(&self, slot: SlotId) -> Option<Occupant> {
-        self.table.occupant(slot)
-    }
-
-    fn candidate_slots(&mut self, addr: u64, out: &mut Vec<SlotId>) {
-        // BFS over rehash positions. Level 0: home positions of `addr`.
+    /// BFS over rehash positions into `self.walk`. Level 0: home
+    /// positions of `addr`; deeper levels: rehash positions of the
+    /// occupants found along the way. `install` replays the recorded
+    /// walk to relocate the chain, so both candidate entry points must
+    /// build it identically.
+    fn build_walk(&mut self, addr: u64) {
         self.walk.clear();
         for w in 0..self.hashes.len() {
             let slot = self.way_slot(w, addr);
@@ -117,7 +100,56 @@ impl CacheArray for ZCache {
             }
             frontier += 1;
         }
+    }
+}
+
+impl CacheArray for ZCache {
+    fn name(&self) -> &'static str {
+        "zcache"
+    }
+
+    fn num_slots(&self) -> usize {
+        self.table.len()
+    }
+
+    fn candidates_per_eviction(&self) -> usize {
+        self.r
+    }
+
+    fn lookup(&self, addr: u64) -> Option<SlotId> {
+        self.table.lookup(addr)
+    }
+
+    fn occupant(&self, slot: SlotId) -> Option<Occupant> {
+        self.table.occupant(slot)
+    }
+
+    fn candidate_slots(&mut self, addr: u64, out: &mut Vec<SlotId>) {
+        self.build_walk(addr);
         out.extend(self.walk.iter().map(|n| n.slot));
+    }
+
+    fn fill_candidates(&mut self, addr: u64, out: &mut Vec<Candidate>) -> Option<SlotId> {
+        // The full walk must be recorded even when an empty slot cuts
+        // the scan short: `install` relocates along it.
+        self.build_walk(addr);
+        for i in 0..self.walk.len() {
+            let slot = self.walk[i].slot;
+            match self.table.occupant(slot) {
+                Some(occ) => out.push(Candidate {
+                    slot,
+                    addr: occ.addr,
+                    part: occ.part,
+                    futility: 0.0,
+                }),
+                None => return Some(slot),
+            }
+        }
+        None
+    }
+
+    fn lookup_occupant(&self, addr: u64) -> Option<(SlotId, Occupant)> {
+        self.table.lookup_occupant(addr)
     }
 
     fn evict(&mut self, slot: SlotId) {

@@ -5,7 +5,7 @@
 use crate::array::CacheArray;
 use crate::ids::{AccessMeta, PartitionId, SlotId};
 use crate::ranking_api::FutilityRanking;
-use crate::scheme_api::{Candidate, PartitionScheme, PartitionState};
+use crate::scheme_api::{Candidate, PartitionScheme, PartitionState, VictimDecision};
 use crate::stats::CacheStats;
 
 /// A line evicted during an access, reported back to the driver.
@@ -76,8 +76,8 @@ pub struct PartitionedCache {
     stats: CacheStats,
     time: u64,
     partitions: usize,
-    cand_slots: Vec<SlotId>,
     cands: Vec<Candidate>,
+    decision: VictimDecision,
 }
 
 impl PartitionedCache {
@@ -103,16 +103,24 @@ impl PartitionedCache {
             *t = share;
         }
         scheme.configure(&state);
+        let mut stats = CacheStats::new(pools);
+        // Only application partitions take deviation samples (scheme
+        // pools have no meaningful targets); seed the incremental
+        // accounting with the starting occupancy of zero.
+        stats.sampled_parts = partitions;
+        for (i, &t) in state.targets.iter().enumerate().take(partitions) {
+            stats.update_occupancy(i, 0, t);
+        }
         PartitionedCache {
-            stats: CacheStats::new(pools),
+            stats,
             array,
             ranking,
             scheme,
             state,
             time: 0,
             partitions,
-            cand_slots: Vec::with_capacity(64),
             cands: Vec::with_capacity(64),
+            decision: VictimDecision::default(),
         }
     }
 
@@ -124,6 +132,10 @@ impl PartitionedCache {
     pub fn set_targets(&mut self, targets: &[usize]) {
         assert!(targets.len() <= self.partitions);
         self.state.targets[..targets.len()].copy_from_slice(targets);
+        for i in 0..targets.len() {
+            self.stats
+                .update_occupancy(i, self.state.actual[i], self.state.targets[i]);
+        }
         self.scheme.configure(&self.state);
     }
 
@@ -172,15 +184,11 @@ impl PartitionedCache {
     pub fn access(&mut self, part: PartitionId, addr: u64, meta: AccessMeta) -> AccessOutcome {
         debug_assert!(part.index() < self.partitions, "foreign pool access");
         self.time += 1;
-        if let Some(slot) = self.array.lookup(addr) {
-            let mut pool = self
-                .array
-                .occupant(slot)
-                .expect("lookup hit empty slot")
-                .part;
+        if let Some((slot, occ)) = self.array.lookup_occupant(addr) {
+            let mut pool = occ.part;
             if pool != part {
                 if let Some(dest) = self.scheme.on_foreign_hit(pool, part) {
-                    self.apply_retag(slot, pool, dest);
+                    self.apply_retag(slot, pool, dest, addr);
                     pool = dest;
                 }
             }
@@ -197,46 +205,46 @@ impl PartitionedCache {
             return self.miss_fully_associative(part, dest_pool, addr, meta);
         }
 
-        self.cand_slots.clear();
-        self.array.candidate_slots(addr, &mut self.cand_slots);
-        debug_assert!(!self.cand_slots.is_empty(), "array returned no candidates");
-
-        // Prefer an empty candidate slot: no eviction necessary.
-        if let Some(&free) = self
-            .cand_slots
-            .iter()
-            .find(|&&s| self.array.occupant(s).is_none())
-        {
+        // One pass over the candidate walk: an empty slot short-circuits
+        // (no eviction necessary), otherwise the occupants come back as
+        // ready-made candidates.
+        self.cands.clear();
+        if let Some(free) = self.array.fill_candidates(addr, &mut self.cands) {
             self.install(free, dest_pool, addr, meta);
             return AccessOutcome::Miss { evicted: None };
         }
+        debug_assert!(!self.cands.is_empty(), "array returned no candidates");
 
-        self.cands.clear();
-        for &slot in &self.cand_slots {
-            let occ = self.array.occupant(slot).expect("occupied candidate");
-            self.cands.push(Candidate {
-                slot,
-                addr: occ.addr,
-                part: occ.part,
-                futility: self.ranking.futility(occ.part, occ.addr),
-            });
-        }
+        self.ranking.futility_batch(&mut self.cands);
 
-        let decision = self.scheme.victim(part, &self.cands, &self.state);
+        // The decision buffer lives on the cache so Vantage's retag list
+        // reuses its allocation; taken out for the duration of the retag
+        // loop to keep the borrows disjoint.
+        let mut decision = std::mem::take(&mut self.decision);
+        self.scheme
+            .victim_into(part, &self.cands, &self.state, &mut decision);
         debug_assert!(decision.victim < self.cands.len());
 
         for &(idx, to) in &decision.retags {
             let c = self.cands[idx];
             if c.part != to {
-                self.apply_retag(c.slot, c.part, to);
+                self.apply_retag(c.slot, c.part, to, c.addr);
+                self.cands[idx].part = to;
             }
         }
 
-        let victim_slot = self.cands[decision.victim].slot;
-        let victim = self.array.occupant(victim_slot).expect("victim vanished");
-        let futility = self.ranking.true_futility(victim.part, victim.addr);
-        self.evict(victim_slot, victim.part, victim.addr, futility);
-        self.install(victim_slot, dest_pool, addr, meta);
+        let victim = self.cands[decision.victim];
+        // An exact ranking's candidate futility *is* the true futility,
+        // so it can be reused for eviction stats unless a retag just
+        // invalidated it.
+        let futility = if decision.retags.is_empty() && self.ranking.futility_is_exact() {
+            victim.futility
+        } else {
+            self.ranking.true_futility(victim.part, victim.addr)
+        };
+        self.evict(victim.slot, victim.part, victim.addr, futility);
+        self.install(victim.slot, dest_pool, addr, meta);
+        self.decision = decision;
         AccessOutcome::Miss {
             evicted: Some(Eviction {
                 addr: victim.addr,
@@ -253,9 +261,8 @@ impl PartitionedCache {
         addr: u64,
         meta: AccessMeta,
     ) -> AccessOutcome {
-        self.cand_slots.clear();
-        self.array.candidate_slots(addr, &mut self.cand_slots);
-        if let Some(&free) = self.cand_slots.first() {
+        self.cands.clear();
+        if let Some(free) = self.array.fill_candidates(addr, &mut self.cands) {
             self.install(free, dest_pool, addr, meta);
             return AccessOutcome::Miss { evicted: None };
         }
@@ -279,21 +286,37 @@ impl PartitionedCache {
         }
     }
 
-    fn apply_retag(&mut self, slot: SlotId, from: PartitionId, to: PartitionId) {
-        let occ = self.array.occupant(slot).expect("retag empty slot");
-        debug_assert_eq!(occ.part, from);
+    /// Fold the occupancy change of `pool` into the incremental
+    /// deviation accounting (only application partitions are sampled).
+    #[inline]
+    fn occupancy_changed(&mut self, pool: PartitionId) {
+        let idx = pool.index();
+        if idx < self.partitions {
+            self.stats
+                .update_occupancy(idx, self.state.actual[idx], self.state.targets[idx]);
+        }
+    }
+
+    fn apply_retag(&mut self, slot: SlotId, from: PartitionId, to: PartitionId, addr: u64) {
+        debug_assert_eq!(
+            self.array.occupant(slot).map(|o| (o.addr, o.part)),
+            Some((addr, from)),
+            "retag occupant mismatch"
+        );
         // A retag out of an application partition into a scheme pool is
         // the moment the line stops serving its partition: record its
         // futility as an (associativity-relevant) departure, exactly as
         // an eviction would be recorded.
         if from.index() < self.partitions && to.index() >= self.partitions {
-            let f = self.ranking.true_futility(from, occ.addr);
+            let f = self.ranking.true_futility(from, addr);
             self.stats.record_eviction(from, f);
         }
         self.array.retag(slot, to);
-        self.ranking.on_retag(from, to, occ.addr);
+        self.ranking.on_retag(from, to, addr);
         self.state.actual[from.index()] -= 1;
         self.state.actual[to.index()] += 1;
+        self.occupancy_changed(from);
+        self.occupancy_changed(to);
     }
 
     fn evict(&mut self, slot: SlotId, pool: PartitionId, addr: u64, futility: f64) {
@@ -306,9 +329,10 @@ impl PartitionedCache {
         self.array.evict(slot);
         self.state.actual[pool.index()] -= 1;
         self.state.evictions[pool.index()] += 1;
+        self.occupancy_changed(pool);
         self.scheme.notify_evict(pool, &self.state);
         self.stats
-            .sample_deviations(&self.state.actual[..self.partitions], &self.state.targets);
+            .sample_deviation_tick(&self.state.actual[..self.partitions], &self.state.targets);
     }
 
     fn install(&mut self, slot: SlotId, pool: PartitionId, addr: u64, meta: AccessMeta) {
@@ -316,6 +340,7 @@ impl PartitionedCache {
         self.ranking.on_insert(pool, addr, self.time, meta);
         self.state.actual[pool.index()] += 1;
         self.state.insertions[pool.index()] += 1;
+        self.occupancy_changed(pool);
         self.scheme.notify_insert(pool, &self.state);
     }
 }

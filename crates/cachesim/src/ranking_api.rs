@@ -12,7 +12,8 @@
 
 use crate::fxmap::FxHashMap;
 use crate::ids::{AccessMeta, PartitionId};
-use crate::ostree::OsTreap;
+use crate::ostree::{OsTreap, RankQuery};
+use crate::scheme_api::Candidate;
 
 /// Per-partition futility bookkeeping driven by the simulation engine.
 ///
@@ -44,6 +45,31 @@ pub trait FutilityRanking: Send {
     /// timestamps) this is the approximation the hardware would compute.
     fn futility(&self, part: PartitionId, addr: u64) -> f64;
 
+    /// Fill `futility` for a whole eviction candidate set in one call.
+    ///
+    /// Semantically identical to calling [`futility`](Self::futility)
+    /// per candidate — the default does exactly that — but rankings
+    /// override it to amortize work across the `R` candidates: exact
+    /// (treap-backed) rankings batch all lookups into one shared tree
+    /// descent, coarse rankings collapse the per-call `Option` chains
+    /// into a tight loop. Implementations must produce bitwise-identical
+    /// values to the scalar path; `&mut self` only licenses reuse of
+    /// internal scratch buffers, never observable state changes.
+    fn futility_batch(&mut self, cands: &mut [Candidate]) {
+        for c in cands {
+            c.futility = self.futility(c.part, c.addr);
+        }
+    }
+
+    /// Whether [`futility`](Self::futility) already equals
+    /// [`true_futility`](Self::true_futility) (no approximation). Exact
+    /// rankings return `true`, letting the engine reuse the victim's
+    /// candidate futility for eviction stats instead of paying a second
+    /// ranked lookup.
+    fn futility_is_exact(&self) -> bool {
+        false
+    }
+
     /// The *exact* normalized rank of `addr` within `part`, used for
     /// measuring associativity distributions. Defaults to
     /// [`futility`](Self::futility); approximate rankings may override it
@@ -66,6 +92,7 @@ pub trait FutilityRanking: Send {
 #[derive(Debug, Default)]
 pub struct NaiveLru {
     pools: Vec<Pool>,
+    scratch: Vec<RankQuery<(u64, u64)>>,
 }
 
 #[derive(Debug)]
@@ -162,6 +189,51 @@ impl FutilityRanking for NaiveLru {
         // rank = number of lines touched longer ago than this one.
         let rank = pool.by_time.rank(&(time, addr));
         (m - rank) as f64 / m as f64
+    }
+
+    fn futility_batch(&mut self, cands: &mut [Candidate]) {
+        self.scratch.clear();
+        for (i, c) in cands.iter_mut().enumerate() {
+            let time = self
+                .pools
+                .get(c.part.index())
+                .and_then(|p| p.last.get(&c.addr).copied());
+            match time {
+                Some(t) => self.scratch.push(RankQuery {
+                    pool: c.part.index() as u32,
+                    key: (t, c.addr),
+                    tag: i as u32,
+                    rank: 0,
+                }),
+                None => c.futility = 0.0,
+            }
+        }
+        self.scratch.sort_unstable();
+        let mut s = 0;
+        while s < self.scratch.len() {
+            let pool_idx = self.scratch[s].pool as usize;
+            let mut e = s + 1;
+            while e < self.scratch.len() && self.scratch[e].pool as usize == pool_idx {
+                e += 1;
+            }
+            let by_time = &self.pools[pool_idx].by_time;
+            let m = by_time.len();
+            if m == 0 {
+                for q in &self.scratch[s..e] {
+                    cands[q.tag as usize].futility = 0.0;
+                }
+            } else {
+                by_time.rank_many(&mut self.scratch[s..e]);
+                for q in &self.scratch[s..e] {
+                    cands[q.tag as usize].futility = (m - q.rank as usize) as f64 / m as f64;
+                }
+            }
+            s = e;
+        }
+    }
+
+    fn futility_is_exact(&self) -> bool {
+        true
     }
 
     fn max_futility_line(&self, part: PartitionId) -> Option<u64> {

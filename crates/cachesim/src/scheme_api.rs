@@ -143,6 +143,21 @@ pub trait PartitionScheme: Send {
         state: &PartitionState,
     ) -> VictimDecision;
 
+    /// Allocation-free variant used by the engine's hot path: write the
+    /// decision into a caller-owned buffer. Schemes that emit retags
+    /// (Vantage) override this to reuse `out.retags`; for everything
+    /// else the default delegates to [`PartitionScheme::victim`], whose
+    /// empty `retags` vector costs nothing to move in.
+    fn victim_into(
+        &mut self,
+        incoming: PartitionId,
+        cands: &[Candidate],
+        state: &PartitionState,
+        out: &mut VictimDecision,
+    ) {
+        *out = self.victim(incoming, cands, state);
+    }
+
     /// On a fully-associative array there is no candidate list; the
     /// scheme instead names the partition to evict from, and the engine
     /// asks the ranking for that partition's most futile line. The

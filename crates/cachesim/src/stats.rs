@@ -26,14 +26,24 @@ pub struct PartitionStats {
     /// sampled at every eviction in the cache. Only populated when
     /// [`CacheStats::deviation_histogram`] is enabled (it costs a hash
     /// map update per partition per eviction); the scalar MAD/occupancy
-    /// accumulators below are always maintained.
+    /// accounting is always maintained — incrementally — and read via
+    /// [`CacheStats::size_mad`] / [`CacheStats::avg_occupancy`].
     pub size_dev_hist: HashMap<i64, u64>,
-    /// Number of size-deviation samples taken.
-    pub size_dev_samples: u64,
-    /// Running sum of |deviation| for the MAD.
-    pub size_dev_abs_sum: f64,
-    /// Running sum of actual size at each sample (for average occupancy).
-    pub occupancy_sum: u64,
+    /// Flushed size-deviation sample count (see `update_occupancy`).
+    size_dev_samples: u64,
+    /// Flushed sum of |deviation| for the MAD.
+    size_dev_abs_sum: f64,
+    /// Flushed sum of actual size at each sample (average occupancy).
+    occupancy_sum: u64,
+    /// Current signed deviation (actual − target), maintained O(1) at
+    /// every occupancy change; multiplied into the flushed sums lazily.
+    cur_dev: i64,
+    /// Current actual size, paired with `cur_dev`.
+    cur_actual: u64,
+    /// Value of the global sample counter when this partition's sums
+    /// were last flushed; `global − flushed_at` samples at `cur_dev`
+    /// are still pending.
+    flushed_at: u64,
 }
 
 impl Default for PartitionStats {
@@ -48,6 +58,9 @@ impl Default for PartitionStats {
             size_dev_samples: 0,
             size_dev_abs_sum: 0.0,
             occupancy_sum: 0,
+            cur_dev: 0,
+            cur_actual: 0,
+            flushed_at: 0,
         }
     }
 }
@@ -76,24 +89,6 @@ impl PartitionStats {
             f64::NAN
         } else {
             self.evict_futility_sum / self.evictions as f64
-        }
-    }
-
-    /// Mean absolute size deviation from target, in lines.
-    pub fn size_mad(&self) -> f64 {
-        if self.size_dev_samples == 0 {
-            f64::NAN
-        } else {
-            self.size_dev_abs_sum / self.size_dev_samples as f64
-        }
-    }
-
-    /// Average occupancy (lines) over all deviation samples.
-    pub fn avg_occupancy(&self) -> f64 {
-        if self.size_dev_samples == 0 {
-            f64::NAN
-        } else {
-            self.occupancy_sum as f64 / self.size_dev_samples as f64
         }
     }
 
@@ -141,8 +136,18 @@ pub struct CacheStats {
     pub sample_deviation: bool,
     /// Whether deviation samples also populate the full per-partition
     /// histogram (needed for deviation CDFs, e.g. Figure 5). Off by
-    /// default — it costs a hash-map update per partition per eviction.
+    /// default — it costs a hash-map update per partition per eviction;
+    /// without it, sampling is a single counter bump (the per-partition
+    /// sums are folded in lazily from each partition's current
+    /// deviation, which changes only when its occupancy does).
     pub deviation_histogram: bool,
+    /// Global lazy sample counter: number of deviation ticks taken in
+    /// counter-only (no-histogram) mode.
+    dev_samples: u64,
+    /// Pools `0..sampled_parts` take part in deviation sampling (the
+    /// engine sets this to its application-partition count; scheme
+    /// pools report NaN, exactly as under eager sampling).
+    pub(crate) sampled_parts: usize,
 }
 
 impl CacheStats {
@@ -152,6 +157,8 @@ impl CacheStats {
             parts: (0..pools).map(|_| PartitionStats::default()).collect(),
             sample_deviation: true,
             deviation_histogram: false,
+            dev_samples: 0,
+            sampled_parts: pools,
         }
     }
 
@@ -202,6 +209,90 @@ impl CacheStats {
         }
     }
 
+    /// One deviation sample across all sampled pools, O(1) in the
+    /// common case: with the histogram enabled this is the eager
+    /// per-partition scan ([`sample_deviations`](Self::sample_deviations)),
+    /// otherwise it only bumps the global counter — each partition's
+    /// pending samples are folded into its sums by
+    /// [`update_occupancy`](Self::update_occupancy) the next time its
+    /// occupancy (or target) changes, and by the read accessors.
+    pub(crate) fn sample_deviation_tick(&mut self, actual: &[usize], targets: &[usize]) {
+        if !self.sample_deviation {
+            return;
+        }
+        if self.deviation_histogram {
+            self.sample_deviations(actual, targets);
+        } else {
+            self.dev_samples += 1;
+        }
+    }
+
+    /// Record that partition `idx` now holds `actual` lines against
+    /// `target`: flush its pending lazy samples at the *old* deviation,
+    /// then switch to the new one. Call after every occupancy or target
+    /// change of a sampled partition.
+    ///
+    /// Exactness: all pending samples happened while the deviation was
+    /// `cur_dev`, so `|cur_dev| * pending` equals the eager loop's
+    /// repeated additions — and since every quantity is an integer well
+    /// below 2^53, the f64 arithmetic is exact and the two accountings
+    /// are bitwise identical.
+    pub(crate) fn update_occupancy(&mut self, idx: usize, actual: usize, target: usize) {
+        let p = &mut self.parts[idx];
+        let pending = self.dev_samples - p.flushed_at;
+        if pending > 0 {
+            p.size_dev_samples += pending;
+            p.size_dev_abs_sum += (p.cur_dev.unsigned_abs() * pending) as f64;
+            p.occupancy_sum += p.cur_actual * pending;
+            p.flushed_at = self.dev_samples;
+        }
+        p.cur_dev = actual as i64 - target as i64;
+        p.cur_actual = actual as u64;
+    }
+
+    /// Effective `(samples, |dev| sum, occupancy sum)` for pool `idx`,
+    /// including samples not yet flushed into the partition.
+    fn deviation_sums(&self, idx: usize) -> (u64, f64, u64) {
+        let p = &self.parts[idx];
+        let mut samples = p.size_dev_samples;
+        let mut abs_sum = p.size_dev_abs_sum;
+        let mut occ_sum = p.occupancy_sum;
+        if idx < self.sampled_parts {
+            let pending = self.dev_samples - p.flushed_at;
+            samples += pending;
+            abs_sum += (p.cur_dev.unsigned_abs() * pending) as f64;
+            occ_sum += p.cur_actual * pending;
+        }
+        (samples, abs_sum, occ_sum)
+    }
+
+    /// Mean absolute size deviation from target (lines) for `part`;
+    /// NaN if the pool was never sampled.
+    pub fn size_mad(&self, part: PartitionId) -> f64 {
+        let (samples, abs_sum, _) = self.deviation_sums(part.index());
+        if samples == 0 {
+            f64::NAN
+        } else {
+            abs_sum / samples as f64
+        }
+    }
+
+    /// Average occupancy (lines) of `part` over all deviation samples;
+    /// NaN if the pool was never sampled.
+    pub fn avg_occupancy(&self, part: PartitionId) -> f64 {
+        let (samples, _, occ_sum) = self.deviation_sums(part.index());
+        if samples == 0 {
+            f64::NAN
+        } else {
+            occ_sum as f64 / samples as f64
+        }
+    }
+
+    /// Number of deviation samples taken for `part`.
+    pub fn size_dev_samples(&self, part: PartitionId) -> u64 {
+        self.deviation_sums(part.index()).0
+    }
+
     /// Total misses across all partitions.
     pub fn total_misses(&self) -> u64 {
         self.parts.iter().map(|p| p.misses).sum()
@@ -214,12 +305,16 @@ impl CacheStats {
 
     /// Reset all counters, keeping the pool count. Useful after warmup.
     pub fn reset(&mut self) {
-        let n = self.parts.len();
-        let sample = self.sample_deviation;
-        let hist = self.deviation_histogram;
-        *self = CacheStats::new(n);
-        self.sample_deviation = sample;
-        self.deviation_histogram = hist;
+        self.dev_samples = 0;
+        for p in &mut self.parts {
+            // `cur_dev`/`cur_actual` mirror the cache's live occupancy,
+            // which a stats reset does not change — only the
+            // accumulated samples are discarded.
+            let (cur_dev, cur_actual) = (p.cur_dev, p.cur_actual);
+            *p = PartitionStats::default();
+            p.cur_dev = cur_dev;
+            p.cur_actual = cur_actual;
+        }
     }
 }
 
@@ -258,12 +353,69 @@ mod tests {
         s.deviation_histogram = true;
         s.sample_deviations(&[12, 8], &[10, 10]);
         s.sample_deviations(&[10, 10], &[10, 10]);
-        let p0 = s.partition(PartitionId(0));
-        assert_eq!(p0.size_dev_samples, 2);
-        assert!((p0.size_mad() - 1.0).abs() < 1e-12);
-        assert!((p0.avg_occupancy() - 11.0).abs() < 1e-12);
+        assert_eq!(s.size_dev_samples(PartitionId(0)), 2);
+        assert!((s.size_mad(PartitionId(0)) - 1.0).abs() < 1e-12);
+        assert!((s.avg_occupancy(PartitionId(0)) - 11.0).abs() < 1e-12);
         let cdf = s.partition(PartitionId(1)).size_deviation_cdf();
         assert_eq!(cdf, vec![(-2, 0.5), (0, 1.0)]);
+    }
+
+    #[test]
+    fn lazy_deviation_accounting_matches_eager() {
+        // Drive the same occupancy history through the eager
+        // (histogram) path and the lazy (counter + flush) path; every
+        // derived statistic must agree bitwise.
+        let history: &[(usize, usize)] = &[(0, 10), (5, 10), (12, 10), (12, 8), (7, 8), (7, 8)];
+        let targets_of = |t: usize| [t, 3usize];
+
+        let mut eager = CacheStats::new(2);
+        eager.deviation_histogram = true;
+        let mut lazy = CacheStats::new(2);
+
+        // Both start with a known occupancy (as the engine does in new()).
+        eager.update_occupancy(0, 0, 10);
+        eager.update_occupancy(1, 2, 3);
+        lazy.update_occupancy(0, 0, 10);
+        lazy.update_occupancy(1, 2, 3);
+
+        for &(actual, target) in history {
+            let targets = targets_of(target);
+            eager.update_occupancy(0, actual, target);
+            lazy.update_occupancy(0, actual, target);
+            // Several ticks between occupancy changes, like a run of
+            // evictions that all land in pool 1.
+            for _ in 0..3 {
+                eager.sample_deviation_tick(&[actual, 2], &targets);
+                lazy.sample_deviation_tick(&[actual, 2], &targets);
+            }
+        }
+
+        for p in [PartitionId(0), PartitionId(1)] {
+            assert_eq!(eager.size_dev_samples(p), lazy.size_dev_samples(p));
+            assert_eq!(eager.size_mad(p).to_bits(), lazy.size_mad(p).to_bits());
+            assert_eq!(
+                eager.avg_occupancy(p).to_bits(),
+                lazy.avg_occupancy(p).to_bits()
+            );
+        }
+        assert_eq!(lazy.size_dev_samples(PartitionId(0)), 18);
+        assert!((lazy.avg_occupancy(PartitionId(1)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_samples_but_keeps_live_occupancy() {
+        let mut s = CacheStats::new(1);
+        s.update_occupancy(0, 7, 10);
+        s.sample_deviation_tick(&[7], &[10]);
+        s.sample_deviation_tick(&[7], &[10]);
+        assert_eq!(s.size_dev_samples(PartitionId(0)), 2);
+        s.reset();
+        assert_eq!(s.size_dev_samples(PartitionId(0)), 0);
+        assert!(s.size_mad(PartitionId(0)).is_nan());
+        // The live deviation survives the reset: new samples pick it up.
+        s.sample_deviation_tick(&[7], &[10]);
+        assert!((s.size_mad(PartitionId(0)) - 3.0).abs() < 1e-12);
+        assert!((s.avg_occupancy(PartitionId(0)) - 7.0).abs() < 1e-12);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::pool::TreapPool;
 use cachesim::fxmap::FxHashMap;
-use cachesim::{AccessMeta, FutilityRanking, PartitionId};
+use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
 
 /// Number of timestamp buckets per partition "generation" (`K = size/16`).
 const BUCKETS_PER_SIZE: u64 = 16;
@@ -183,6 +183,22 @@ impl FutilityRanking for CoarseLru {
         match self.timestamp_distance(part, addr) {
             Some(d) => d as f64 / 256.0,
             None => 0.0,
+        }
+    }
+
+    fn futility_batch(&mut self, cands: &mut [Candidate]) {
+        // The hardware estimate is a map probe plus one wrapping
+        // subtraction per candidate; fusing the loop here skips the
+        // per-candidate virtual call and `Option` plumbing of the
+        // scalar path while computing the identical value.
+        for c in cands {
+            c.futility = match self.pools.get(c.part.index()) {
+                Some(p) => match p.tags.get(&c.addr) {
+                    Some(&tag) => p.current_ts.wrapping_sub(tag) as f64 / 256.0,
+                    None => 0.0,
+                },
+                None => 0.0,
+            };
         }
     }
 

@@ -1,19 +1,21 @@
 //! Exact least-recently-used futility ranking.
 
-use crate::pool::TreapPool;
-use cachesim::{AccessMeta, FutilityRanking, PartitionId};
+use crate::pool::{batch_over_pools, TreapPool};
+use cachesim::ostree::RankQuery;
+use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
 
 /// Exact LRU: lines are ranked by last-access time; the least recently
 /// used line of a partition has futility 1.
 #[derive(Debug, Default)]
 pub struct ExactLru {
     pools: Vec<TreapPool<false>>,
+    scratch: Vec<RankQuery<(u64, u64)>>,
 }
 
 impl ExactLru {
     /// Create an empty ranking (pools sized on `reset`).
     pub fn new() -> Self {
-        ExactLru { pools: Vec::new() }
+        ExactLru::default()
     }
 
     fn pool_mut(&mut self, part: PartitionId) -> &mut TreapPool<false> {
@@ -60,6 +62,14 @@ impl FutilityRanking for ExactLru {
         self.pools
             .get(part.index())
             .map_or(0.0, |p| p.futility(addr))
+    }
+
+    fn futility_batch(&mut self, cands: &mut [Candidate]) {
+        batch_over_pools(&self.pools, &mut self.scratch, cands);
+    }
+
+    fn futility_is_exact(&self) -> bool {
+        true
     }
 
     fn max_futility_line(&self, part: PartitionId) -> Option<u64> {

@@ -2,9 +2,10 @@
 //! frequency ("their access frequencies", §III-A), with LRU as the
 //! tiebreaker among equally-hot lines.
 
-use crate::pool::TreapPool;
+use crate::pool::{batch_over_pools, TreapPool};
 use cachesim::fxmap::FxHashMap;
-use cachesim::{AccessMeta, FutilityRanking, PartitionId};
+use cachesim::ostree::RankQuery;
+use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
 
 /// Bits of the composite key reserved for the recency tiebreak.
 const TIME_BITS: u32 = 44;
@@ -18,6 +19,7 @@ const MAX_COUNT: u64 = (1 << (64 - TIME_BITS)) - 1;
 pub struct Lfu {
     pools: Vec<TreapPool<false>>,
     counts: Vec<FxHashMap<u64, u64>>,
+    scratch: Vec<RankQuery<(u64, u64)>>,
 }
 
 impl Lfu {
@@ -92,6 +94,14 @@ impl FutilityRanking for Lfu {
         self.pools
             .get(part.index())
             .map_or(0.0, |p| p.futility(addr))
+    }
+
+    fn futility_batch(&mut self, cands: &mut [Candidate]) {
+        batch_over_pools(&self.pools, &mut self.scratch, cands);
+    }
+
+    fn futility_is_exact(&self) -> bool {
+        true
     }
 
     fn max_futility_line(&self, part: PartitionId) -> Option<u64> {

@@ -5,8 +5,9 @@
 //! artifacts (Figures 2, 4–7) and to expose the performance headroom of
 //! high associativity (Figure 6a).
 
-use crate::pool::TreapPool;
-use cachesim::{AccessMeta, FutilityRanking, PartitionId};
+use crate::pool::{batch_over_pools, TreapPool};
+use cachesim::ostree::RankQuery;
+use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
 
 /// OPT (Belady) ranking. Requires accesses annotated with `next_use`
 /// metadata (see [`Trace::annotate_next_use`](cachesim::trace::Trace::annotate_next_use));
@@ -15,12 +16,13 @@ use cachesim::{AccessMeta, FutilityRanking, PartitionId};
 #[derive(Debug, Default)]
 pub struct Opt {
     pools: Vec<TreapPool<true>>,
+    scratch: Vec<RankQuery<(u64, u64)>>,
 }
 
 impl Opt {
     /// Create an empty ranking (pools sized on `reset`).
     pub fn new() -> Self {
-        Opt { pools: Vec::new() }
+        Opt::default()
     }
 
     fn pool_mut(&mut self, part: PartitionId) -> &mut TreapPool<true> {
@@ -67,6 +69,14 @@ impl FutilityRanking for Opt {
         self.pools
             .get(part.index())
             .map_or(0.0, |p| p.futility(addr))
+    }
+
+    fn futility_batch(&mut self, cands: &mut [Candidate]) {
+        batch_over_pools(&self.pools, &mut self.scratch, cands);
+    }
+
+    fn futility_is_exact(&self) -> bool {
+        true
     }
 
     fn max_futility_line(&self, part: PartitionId) -> Option<u64> {

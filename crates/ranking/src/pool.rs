@@ -1,7 +1,8 @@
 //! Shared per-partition order-statistic pool used by the exact rankings.
 
 use cachesim::fxmap::FxHashMap;
-use cachesim::ostree::OsTreap;
+use cachesim::ostree::{OsTreap, RankQuery};
+use cachesim::Candidate;
 
 /// One partition's worth of ranking state: an order-statistic treap over
 /// `(key, addr)` pairs plus an address → key map.
@@ -45,7 +46,6 @@ impl<const HIGH_IS_FUTILE: bool> TreapPool<HIGH_IS_FUTILE> {
     }
 
     /// The stored key for `addr`.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn key_of(&self, addr: u64) -> Option<u64> {
         self.keys.get(&addr).copied()
     }
@@ -77,6 +77,77 @@ impl<const HIGH_IS_FUTILE: bool> TreapPool<HIGH_IS_FUTILE> {
             self.treap.min()
         };
         entry.map(|&(_, addr)| addr)
+    }
+}
+
+/// How many rank walks `batch_over_pools` keeps in flight at once.
+/// Covers a full 16-way candidate list in one round; the lane arrays
+/// live on the stack either way.
+const LANES: usize = 16;
+
+/// Shared `futility_batch` driver for rankings backed by one
+/// [`TreapPool`] per pool: build one rank query per tracked candidate,
+/// then resolve them with *interleaved* treap descents — every lane is
+/// an independent root-to-leaf walk (often in a different pool's
+/// treap), advanced one level per round via [`OsTreap::walk_step`]. A
+/// rank descent is memory-latency-bound (one dependent node load per
+/// level), so up to [`LANES`] interleaved walks keep that many loads
+/// in flight instead of serializing one full descent per candidate.
+/// Ranks only depend on (treap contents, key), so the futilities are
+/// bitwise-identical to the scalar path. Untracked candidates get
+/// futility 0.0, same as the scalar path.
+///
+/// `scratch` is caller-owned so the per-access hot path never
+/// allocates once it has warmed up.
+pub(crate) fn batch_over_pools<const HIGH_IS_FUTILE: bool>(
+    pools: &[TreapPool<HIGH_IS_FUTILE>],
+    scratch: &mut Vec<RankQuery<(u64, u64)>>,
+    cands: &mut [Candidate],
+) {
+    scratch.clear();
+    for (i, c) in cands.iter_mut().enumerate() {
+        match pools.get(c.part.index()).and_then(|p| p.key_of(c.addr)) {
+            Some(key) => scratch.push(RankQuery {
+                pool: c.part.index() as u32,
+                key: (key, c.addr),
+                tag: i as u32,
+                rank: 0,
+            }),
+            None => c.futility = 0.0,
+        }
+    }
+    for chunk in scratch.chunks_mut(LANES) {
+        let k = chunk.len();
+        // Placeholder-init the lane arrays from lane 0, then overwrite
+        // the `k` live lanes; lanes `k..LANES` are never read.
+        let first = &pools[chunk[0].pool as usize].treap;
+        let mut treaps = [first; LANES];
+        let mut cur = [first.walk_start(); LANES];
+        for (i, q) in chunk.iter().enumerate() {
+            let tr = &pools[q.pool as usize].treap;
+            treaps[i] = tr;
+            cur[i] = tr.walk_start();
+        }
+        let mut live = true;
+        while live {
+            live = false;
+            for ((tr, c), q) in treaps[..k].iter().zip(&mut cur[..k]).zip(chunk.iter()) {
+                live |= tr.walk_step(c, &q.key);
+            }
+        }
+        for (q, c) in chunk.iter_mut().zip(cur.iter()) {
+            q.rank = c.rank();
+        }
+    }
+    for q in scratch.iter() {
+        // `key_of` hit above, so the pool's treap is non-empty.
+        let m = pools[q.pool as usize].len();
+        let rank = q.rank as usize;
+        cands[q.tag as usize].futility = if HIGH_IS_FUTILE {
+            (rank + 1) as f64 / m as f64
+        } else {
+            (m - rank) as f64 / m as f64
+        };
     }
 }
 

@@ -6,9 +6,10 @@
 //! (AEF = 0.5), exactly the worst case the paper derives for PF with
 //! `N ≥ R` (Section III-C).
 
-use crate::pool::TreapPool;
+use crate::pool::{batch_over_pools, TreapPool};
 use cachesim::hashing::{IndexHash, LineHash};
-use cachesim::{AccessMeta, FutilityRanking, PartitionId};
+use cachesim::ostree::RankQuery;
+use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
 
 /// Random ranking with a deterministic per-line hash.
 #[derive(Debug)]
@@ -16,6 +17,7 @@ pub struct RandomRanking {
     pools: Vec<TreapPool<true>>,
     hash: LineHash,
     seed: u64,
+    scratch: Vec<RankQuery<(u64, u64)>>,
 }
 
 impl RandomRanking {
@@ -25,6 +27,7 @@ impl RandomRanking {
             pools: Vec::new(),
             hash: LineHash::new(seed),
             seed,
+            scratch: Vec::new(),
         }
     }
 
@@ -76,6 +79,14 @@ impl FutilityRanking for RandomRanking {
         self.pools
             .get(part.index())
             .map_or(0.0, |p| p.futility(addr))
+    }
+
+    fn futility_batch(&mut self, cands: &mut [Candidate]) {
+        batch_over_pools(&self.pools, &mut self.scratch, cands);
+    }
+
+    fn futility_is_exact(&self) -> bool {
+        true
     }
 
     fn max_futility_line(&self, part: PartitionId) -> Option<u64> {

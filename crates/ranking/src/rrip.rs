@@ -11,7 +11,7 @@
 
 use crate::pool::TreapPool;
 use cachesim::fxmap::FxHashMap;
-use cachesim::{AccessMeta, FutilityRanking, PartitionId};
+use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
 
 /// Maximum RRPV for the default 2-bit configuration.
 const MAX_RRPV: u32 = 3;
@@ -143,6 +143,22 @@ impl FutilityRanking for Rrip {
         {
             Some(r) => (r as f64 + 1.0) / (MAX_RRPV as f64 + 1.0),
             None => 0.0,
+        }
+    }
+
+    fn futility_batch(&mut self, cands: &mut [Candidate]) {
+        // Aged RRPV lookup fused into one loop: map probe, saturating
+        // generation aging, one division — identical to the scalar
+        // value without the per-candidate virtual call.
+        for c in cands {
+            c.futility = match self
+                .pools
+                .get(c.part.index())
+                .and_then(|p| p.effective_rrpv(c.addr))
+            {
+                Some(r) => (r as f64 + 1.0) / (MAX_RRPV as f64 + 1.0),
+                None => 0.0,
+            };
         }
     }
 

@@ -58,9 +58,9 @@ fn run(scheme_name: &str) -> (f64, f64, f64) {
     let mut aef = 0.0;
     let mut ipc = 0.0;
     for i in 0..SUBJECTS {
-        let p = sys.cache().stats().partition(PartitionId(i as u16));
-        occupancy += p.avg_occupancy() / SUBJECT_LINES as f64;
-        aef += p.aef();
+        let stats = sys.cache().stats();
+        occupancy += stats.avg_occupancy(PartitionId(i as u16)) / SUBJECT_LINES as f64;
+        aef += stats.partition(PartitionId(i as u16)).aef();
         ipc += result.threads[i].ipc();
     }
     (

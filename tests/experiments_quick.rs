@@ -54,6 +54,80 @@ fn all_experiments_produce_csvs_with_expected_headers() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// FNV-1a 64-bit, the same zero-dependency hash used elsewhere in the
+/// workspace — stable across platforms and Rust versions, unlike
+/// `DefaultHasher`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Pinned FNV-1a hashes of every experiment CSV at Smoke scale. These
+/// freeze simulator *behavior*: any change to victim selection, stats,
+/// or trace generation shows up as a hash mismatch. Regenerate (only
+/// when an intentional behavior change lands) with:
+///
+/// ```text
+/// cargo test -q --test experiments_quick -- --ignored --nocapture print_golden_smoke_hashes
+/// ```
+const GOLDEN_SMOKE_HASHES: &[(&str, u64)] = &[
+    ("table2_config", 0xe95ad8dea13cb3b5),
+    ("fig1_dilemma", 0x773d0d908c123ba2),
+    ("fig3_scaling_factors", 0x58bbd7a6e11d50d6),
+    ("fig2_pf_degradation", 0x16f867b28cf7d6a8),
+    ("fig4_assoc_cdf", 0xc1d723e646d1632e),
+    ("fig5_size_deviation", 0xd6503da5ff853acf),
+    ("fig6_assoc_sensitivity", 0xafe04e1ddeb5d284),
+    ("fig7_qos", 0x5dc20f0d5ccecc83),
+    ("fig8_sensitivity", 0x29ff0202575112b9),
+];
+
+#[test]
+fn smoke_csvs_match_golden_hashes() {
+    let dir = scratch_dir("golden");
+    let exps = experiments::all();
+    experiments::run_experiments(&exps, Scale::Smoke, 2, &dir, false, false);
+    let golden: HashMap<&str, u64> = GOLDEN_SMOKE_HASHES.iter().copied().collect();
+    assert_eq!(golden.len(), exps.len(), "one pinned hash per experiment");
+    let mut mismatches = Vec::new();
+    for exp in &exps {
+        let bytes = fs::read(dir.join(format!("{}.csv", exp.csv))).expect("csv");
+        let got = fnv1a64(&bytes);
+        let want = *golden
+            .get(exp.csv)
+            .unwrap_or_else(|| panic!("{}: no pinned hash", exp.csv));
+        if got != want {
+            mismatches.push(format!("{}: {got:#018x} != pinned {want:#018x}", exp.csv));
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+    assert!(
+        mismatches.is_empty(),
+        "CSV content changed — if intentional, re-pin via the ignored \
+         print_golden_smoke_hashes test:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// Regeneration helper for `GOLDEN_SMOKE_HASHES`; run with `--ignored
+/// --nocapture` and paste the output over the table above.
+#[test]
+#[ignore = "prints replacement golden hashes; not a check"]
+fn print_golden_smoke_hashes() {
+    let dir = scratch_dir("golden_print");
+    let exps = experiments::all();
+    experiments::run_experiments(&exps, Scale::Smoke, 2, &dir, false, false);
+    for exp in &exps {
+        let bytes = fs::read(dir.join(format!("{}.csv", exp.csv))).expect("csv");
+        println!("    (\"{}\", {:#018x}),", exp.csv, fnv1a64(&bytes));
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn csv_bytes_and_stats_are_thread_count_invariant() {
     let exps = experiments::all();

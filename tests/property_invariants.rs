@@ -277,6 +277,105 @@ fn opt_dominates_lru_on_fully_associative() {
     );
 }
 
+/// `futility_batch` must be bitwise identical to per-candidate scalar
+/// `futility` for every ranking (the engine routes all miss-path
+/// futility through the batch API, so any divergence would silently
+/// change victim selection). Pools are populated by a random
+/// insert/hit/evict/retag history; probes mix resident and untracked
+/// lines; the batch runs twice to check scratch-buffer reuse.
+/// (ranking index, op history as `(op, pool, addr)`, probes as
+/// `(pool, addr)`) — the generated input for the batch-vs-scalar
+/// property below.
+type BatchCase = (usize, Vec<(u8, u16, u64)>, Vec<(u16, u64)>);
+
+fn prop_futility_batch_matches_scalar((name_idx, ops, probes): &BatchCase) -> CaseResult {
+    const POOLS: usize = 3;
+    // Index 6 is the cachesim-internal reference ranking; 0..6 are the
+    // ranking crate's implementations.
+    let (name, mut r): (&str, Box<dyn cachesim::FutilityRanking>) = if *name_idx == 6 {
+        ("naive-lru", cachesim::naive_lru())
+    } else {
+        let n = ranking::ALL_RANKINGS[*name_idx];
+        (n, ranking::by_name(n).expect("ranking exists"))
+    };
+    r.reset(POOLS);
+
+    // Replay a valid history: each address lives in at most one pool at
+    // a time, exactly as the engine guarantees.
+    let mut home: std::collections::HashMap<u64, PartitionId> = std::collections::HashMap::new();
+    let mut time = 0u64;
+    for &(op, p_raw, addr) in ops {
+        time += 1;
+        let p = PartitionId(p_raw % POOLS as u16);
+        let meta = AccessMeta::with_next_use(time * 7 + addr);
+        match (op % 4, home.get(&addr).copied()) {
+            (0, None) => {
+                r.on_insert(p, addr, time, meta);
+                home.insert(addr, p);
+            }
+            (1, Some(cur)) => r.on_hit(cur, addr, time, meta),
+            (2, Some(cur)) => {
+                r.on_evict(cur, addr);
+                home.remove(&addr);
+            }
+            (3, Some(cur)) if cur != p => {
+                r.on_retag(cur, p, addr);
+                home.insert(addr, p);
+            }
+            _ => {}
+        }
+    }
+
+    // Candidates as the engine would build them: resident lines carry
+    // their true pool, untracked probes an arbitrary one.
+    let cands: Vec<Candidate> = probes
+        .iter()
+        .enumerate()
+        .map(|(i, &(p_raw, addr))| Candidate {
+            slot: i as u32,
+            addr,
+            part: home
+                .get(&addr)
+                .copied()
+                .unwrap_or(PartitionId(p_raw % POOLS as u16)),
+            futility: 0.0,
+        })
+        .collect();
+    let expected: Vec<f64> = cands.iter().map(|c| r.futility(c.part, c.addr)).collect();
+
+    for round in 0..2 {
+        let mut batch = cands.clone();
+        r.futility_batch(&mut batch);
+        for (c, &want) in batch.iter().zip(&expected) {
+            tk_assert!(
+                c.futility.to_bits() == want.to_bits(),
+                "{name} round {round}: batch {} != scalar {} for addr {} pool {:?}",
+                c.futility,
+                want,
+                c.addr,
+                c.part
+            );
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn futility_batch_matches_scalar() {
+    check(
+        "futility_batch_matches_scalar",
+        &(
+            int_range(0usize..7),
+            vec_of(
+                (int_range(0u8..4), int_range(0u16..4), int_range(0u64..90)),
+                1..300,
+            ),
+            vec_of((int_range(0u16..4), int_range(0u64..120)), 1..24),
+        ),
+        prop_futility_batch_matches_scalar,
+    );
+}
+
 /// A pinned case passes if the property holds or the case is rejected
 /// by its precondition (e.g. the solver now reports infeasibility where
 /// it once mis-solved) — only a property violation fails.

@@ -42,13 +42,7 @@ fn subject_metrics(scheme: Box<dyn PartitionScheme>) -> (f64, f64) {
     let result = sys.run(0.3);
     let ipc = (0..SUBJECTS).map(|i| result.threads[i].ipc()).sum::<f64>() / SUBJECTS as f64;
     let occ = (0..SUBJECTS)
-        .map(|i| {
-            sys.cache()
-                .stats()
-                .partition(PartitionId(i as u16))
-                .avg_occupancy()
-                / SUBJECT_LINES as f64
-        })
+        .map(|i| sys.cache().stats().avg_occupancy(PartitionId(i as u16)) / SUBJECT_LINES as f64)
         .sum::<f64>()
         / SUBJECTS as f64;
     (ipc, occ)
