@@ -18,9 +18,17 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== bench_engine --smoke =="
 # Throughput trajectory: sweep the full array × ranking × scheme grid,
-# then check the emitted file has every cell and a sane geomean (the
-# validate step prints it into the CI log).
-cargo run --release --offline -q -p fs-bench --bin bench_engine -- --smoke --out BENCH_engine.json
-cargo run --release --offline -q -p fs-bench --bin bench_engine -- --validate BENCH_engine.json
+# check the emitted file has every cell and a sane geomean (the validate
+# step prints it into the CI log), and gate on the committed baseline —
+# a >10% geomean drop vs BENCH_engine.json fails CI. The fresh run then
+# replaces the trajectory file.
+cargo run --release --offline -q -p fs-bench --bin bench_engine -- --smoke --out BENCH_engine.new.json
+cargo run --release --offline -q -p fs-bench --bin bench_engine -- --validate BENCH_engine.new.json --against BENCH_engine.json
+mv BENCH_engine.new.json BENCH_engine.json
+
+echo "== trace_dynamics --smoke =="
+# Flight-recorder smoke: the time-series observability path end to end
+# (recorder, scheme telemetry, CSV emission, ASCII rendering).
+cargo run --release --offline -q -p fs-bench --bin trace_dynamics -- --smoke
 
 echo "CI OK"

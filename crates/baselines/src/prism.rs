@@ -15,7 +15,7 @@
 //! paper measures (>70% abnormality, 10–21% under target).
 
 use cachesim::prng::Prng;
-use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, VictimDecision};
+use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, Probe, VictimDecision};
 
 /// PriSM controller.
 #[derive(Clone, Debug)]
@@ -170,6 +170,13 @@ impl PartitionScheme for Prism {
         if self.window_misses >= self.window {
             self.recompute(state);
         }
+    }
+
+    fn telemetry(&self, _state: &PartitionState, out: &mut Vec<Probe>) {
+        for (i, &p) in self.evict_prob.iter().enumerate() {
+            out.push(Probe::per_part("evict_prob", PartitionId(i as u16), p));
+        }
+        out.push(Probe::global("abnormality_rate", self.abnormality_rate()));
     }
 }
 

@@ -21,7 +21,7 @@
 //! * A hit on an unmanaged line promotes it back to the accessor's
 //!   partition.
 
-use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, VictimDecision};
+use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, Probe, VictimDecision};
 
 /// Vantage tuning parameters (defaults are the FS paper's: `u = 10%`,
 /// `Amax = 0.5`, `slack = 0.1`).
@@ -173,9 +173,19 @@ impl PartitionScheme for Vantage {
         self.selections += 1;
         let unmanaged = self.unmanaged_pool;
 
+        // Calibration decay: every pool's observed futility maximum
+        // decays once per victim *selection*. Decaying per candidate
+        // examined would tie the calibration half-life to R and to how
+        // many candidates happen to belong to the pool, making the
+        // aperture cut drift with the candidate mix rather than with
+        // time.
+        for f in &mut self.fmax {
+            *f = (*f * 0.9995).max(1e-6);
+        }
+
         // Demote managed candidates within their partition's aperture.
         // The aperture cut is taken against the pool's observed futility
-        // range (a slowly decaying max), so it works for both exact
+        // range (the decaying max above), so it works for both exact
         // ranks (range [0,1]) and coarse timestamp distances.
         out.retags.clear();
         let mut in_unmanaged = std::mem::take(&mut self.in_unmanaged);
@@ -189,7 +199,7 @@ impl PartitionScheme for Vantage {
             if idx >= self.fmax.len() {
                 self.fmax.resize(state.pools().max(idx + 1), 1e-6);
             }
-            self.fmax[idx] = (self.fmax[idx] * 0.9995).max(c.futility).max(1e-6);
+            self.fmax[idx] = self.fmax[idx].max(c.futility);
             let aperture = self.aperture(c.part, state);
             if aperture > 0.0 && c.futility >= (1.0 - aperture) * self.fmax[idx] {
                 out.retags.push((i, unmanaged));
@@ -239,6 +249,31 @@ impl PartitionScheme for Vantage {
         accessor: PartitionId,
     ) -> Option<PartitionId> {
         (line_pool == self.unmanaged_pool).then_some(accessor)
+    }
+
+    fn telemetry(&self, state: &PartitionState, out: &mut Vec<Probe>) {
+        // Application partitions: all pools but the trailing unmanaged
+        // region.
+        for i in 0..state.pools().saturating_sub(1) {
+            let part = PartitionId(i as u16);
+            out.push(Probe::per_part(
+                "aperture",
+                part,
+                self.aperture(part, state),
+            ));
+            if let Some(&f) = self.fmax.get(i) {
+                out.push(Probe::per_part("fmax", part, f));
+            }
+        }
+        out.push(Probe::global(
+            "forced_eviction_rate",
+            self.forced_eviction_rate(),
+        ));
+        out.push(Probe::global("demotions", self.demotions as f64));
+        out.push(Probe::global(
+            "unmanaged_occupancy",
+            state.actual[self.unmanaged_pool.index()] as f64,
+        ));
     }
 }
 
@@ -318,6 +353,63 @@ mod tests {
         let d = v.victim(PartitionId(0), &[cand(0, 0, 0.7), cand(1, 1, 0.4)], &st);
         assert_eq!(d.victim, 0, "threshold-relative forced eviction");
         assert!(v.forced_eviction_rate() > 0.99);
+    }
+
+    #[test]
+    fn fmax_decay_is_per_selection_not_per_candidate() {
+        // k selections must decay a pool's calibrated fmax by exactly
+        // 0.9995^k regardless of how many candidates are examined or
+        // how many of them belong to the pool. Zero-futility candidates
+        // make the max-update a no-op, isolating the decay.
+        let st = state(vec![100, 100, 20], vec![100, 100, 0]);
+        let mut narrow = configured(&st);
+        let mut wide = configured(&st);
+        let prime = [cand(0, 0, 0.8), cand(1, 2, 0.1)];
+        let _ = narrow.victim(PartitionId(0), &prime, &st);
+        let _ = wide.victim(PartitionId(0), &prime, &st);
+        assert_eq!(narrow.fmax[0], 0.8);
+
+        let k = 10;
+        let wide_cands: Vec<Candidate> = (0..16u32)
+            .map(|i| cand(i, if i < 8 { 0 } else { 2 }, 0.0))
+            .collect();
+        for _ in 0..k {
+            // R = 2, one P0 candidate...
+            let _ = narrow.victim(PartitionId(0), &[cand(0, 0, 0.0), cand(1, 2, 0.0)], &st);
+            // ...vs R = 16 with eight P0 candidates.
+            let _ = wide.victim(PartitionId(0), &wide_cands, &st);
+        }
+        assert_eq!(
+            narrow.fmax[0].to_bits(),
+            wide.fmax[0].to_bits(),
+            "fmax calibration half-life must be independent of R"
+        );
+        let expected = 0.8 * 0.9995f64.powi(k);
+        assert!((narrow.fmax[0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_reports_apertures_and_global_rates() {
+        let st = state(vec![120, 80, 20], vec![100, 100, 0]);
+        let mut v = configured(&st);
+        let _ = v.victim(PartitionId(0), &[cand(0, 0, 0.9), cand(1, 1, 0.9)], &st);
+        let mut probes = Vec::new();
+        v.telemetry(&st, &mut probes);
+        let get = |name: &str, part: Option<PartitionId>| {
+            probes
+                .iter()
+                .find(|p| p.name == name && p.part == part)
+                .map(|p| p.value)
+        };
+        assert_eq!(get("aperture", Some(PartitionId(0))), Some(0.5));
+        assert_eq!(get("aperture", Some(PartitionId(1))), Some(0.0));
+        assert!(get("fmax", Some(PartitionId(0))).unwrap() > 0.0);
+        assert_eq!(get("unmanaged_occupancy", None), Some(20.0));
+        assert!(get("forced_eviction_rate", None).is_some());
+        assert!(
+            get("aperture", Some(PartitionId(2))).is_none(),
+            "no per-part probes for the unmanaged pool"
+        );
     }
 
     #[test]

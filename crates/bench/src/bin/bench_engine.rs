@@ -6,6 +6,7 @@
 //! Usage:
 //!   bench_engine [--smoke|--quick] [--out FILE] [--filter SUBSTR]
 //!   bench_engine --validate FILE                  # check an emitted file
+//!   bench_engine --validate FILE --against BASE   # + fail on >10% geomean drop
 //!
 //! `--filter` restricts measurement to cells whose `array/ranking/scheme`
 //! triple contains the substring — for quick one-component comparisons;
@@ -106,13 +107,20 @@ fn measure_cell(array: &str, ranking: &str, scheme: &str, lines: usize, wl: &Wor
     cache.stats_mut().sample_deviation = false;
     // Warm up: fill the cache and size every internal structure.
     wl.drive(&mut cache);
+    // Time each pass separately and report the best rate: throughput
+    // noise on a shared machine is one-sided (competing load only slows
+    // a pass down), so max-of-passes estimates the engine's capability
+    // far more stably than the mean — which keeps the `--against`
+    // regression gate from tripping on background load.
     let reps = MIN_TIMED.div_ceil(wl.addrs.len()).max(1);
-    let t0 = Instant::now();
+    let mut best = 0.0f64;
     for _ in 0..reps {
+        let t0 = Instant::now();
         wl.drive(&mut cache);
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(wl.addrs.len() as f64 / dt);
     }
-    let dt = t0.elapsed().as_secs_f64().max(1e-9);
-    (reps * wl.addrs.len()) as f64 / dt
+    best
 }
 
 fn scale_name(scale: Scale) -> &'static str {
@@ -217,11 +225,57 @@ fn validate(path: &str) {
     }
 }
 
+/// Extract `"geomean_accesses_per_sec": <f64>` and `"scale": "<name>"`
+/// from an emitted file without a JSON parser.
+fn parse_summary(path: &str) -> (f64, String) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let geomean = text
+        .split("\"geomean_accesses_per_sec\":")
+        .nth(1)
+        .and_then(|s| {
+            let end = s.find('}')?;
+            s[..end].trim().parse::<f64>().ok()
+        })
+        .unwrap_or_else(|| panic!("{path}: no parsable geomean"));
+    let scale = text
+        .split("\"scale\": \"")
+        .nth(1)
+        .and_then(|s| Some(s[..s.find('"')?].to_string()))
+        .unwrap_or_else(|| panic!("{path}: no scale field"));
+    (geomean, scale)
+}
+
+/// Regression gate: compare a freshly emitted file against a committed
+/// baseline at the same scale; fail (exit 1) if the geomean dropped by
+/// more than 10%. A single-shot run is noisier than the interleaved A/B
+/// protocol in BENCHMARKS.md, so the tolerance is deliberately loose —
+/// this catches "accidentally made the engine 2× slower", not 3% drifts.
+fn compare_against(current: &str, baseline: &str) {
+    let (cur, cur_scale) = parse_summary(current);
+    let (base, base_scale) = parse_summary(baseline);
+    if cur_scale != base_scale {
+        eprintln!("scale mismatch: {current}={cur_scale}, {baseline}={base_scale}");
+        std::process::exit(1);
+    }
+    let ratio = cur / base;
+    println!(
+        "{current} geomean {cur:.0} vs {baseline} geomean {base:.0} ({:+.1}%)",
+        (ratio - 1.0) * 100.0
+    );
+    if !ratio.is_finite() || ratio < 0.90 {
+        eprintln!("REGRESSION: geomean dropped more than 10% vs the committed baseline");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--validate") {
         let path = args.get(i + 1).expect("--validate needs a file path");
         validate(path);
+        if let Some(baseline) = cli_value("--against") {
+            compare_against(path, &baseline);
+        }
         return;
     }
     run_grid();

@@ -55,12 +55,15 @@ fn run_one(bench: &str, n: usize, part_lines: usize, trace_len: usize, seed: u64
     let array_seed = sm.next_u64();
     let profile = benchmark(bench).expect("known benchmark");
     let lines = part_lines * n;
-    let cache = PartitionedCache::new(
+    let mut cache = PartitionedCache::new(
         crate::l2_array(lines, array_seed),
         crate::futility_ranking("opt"),
         crate::scheme("pf"),
         n,
     );
+    // This figure reads the associativity CDF, which needs the opt-in
+    // per-eviction futility histogram.
+    cache.stats_mut().futility_histogram = true;
     let threads: Vec<Thread> = (0..n)
         .map(|i| {
             Thread::new(

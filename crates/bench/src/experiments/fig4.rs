@@ -69,6 +69,9 @@ fn run_one(scheme_name: &str, s1: f64, lines: usize, insertions: u64, seed: u64)
     );
     let t0 = (lines as f64 * s1) as usize;
     cache.set_targets(&[t0, lines - t0]);
+    // This figure reads the associativity CDF, which needs the opt-in
+    // per-eviction futility histogram.
+    cache.stats_mut().futility_histogram = true;
 
     let mut driver = RateControlledDriver::new(traces, vec![0.5, 0.5], sm.next_u64());
     // Warm up (fill the cache and let sizes converge), then measure.

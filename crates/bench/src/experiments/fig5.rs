@@ -72,6 +72,9 @@ fn run_one(scheme_name: &str, i1: f64, lines: usize, insertions: u64, seed: u64)
     let mut driver = RateControlledDriver::new(traces, vec![i1, 1.0 - i1], sm.next_u64());
     driver.run(&mut cache, warmup);
     cache.stats_mut().reset();
+    // Record the measurement window: the deviation walk this figure
+    // summarizes as a CDF becomes visible in fig5_*_timeseries.csv.
+    cache.attach_timeseries((insertions / 64).max(1), 1 << 15);
     driver.run(&mut cache, insertions);
 
     let label = format!("{scheme_name}(I1={i1})");
@@ -91,10 +94,12 @@ fn run_one(scheme_name: &str, i1: f64, lines: usize, insertions: u64, seed: u64)
         .iter()
         .map(|&(d, p)| vec![label.clone(), d.to_string(), format!("{p:.5}")])
         .collect();
+    let timeseries = cache.timeseries().expect("recorder attached").rows();
     JobOutput::rows(rows)
         .with_stat("mad", stats.size_mad(PartitionId(0)))
         .with_stat("mean_dev", mean_dev)
         .with_stat("p_within_64", prob_within(&cdf, 64))
+        .with_timeseries(timeseries)
 }
 
 fn report(results: &[JobResult], _rows: &[Row]) -> String {

@@ -94,10 +94,14 @@ fn run_one(
     let mut driver = RateControlledDriver::new(traces, vec![0.5, 0.5], sm.next_u64());
     driver.run(&mut cache, warmup);
     cache.stats_mut().reset();
+    // Record the measurement window: shift-width/α trajectories of the
+    // feedback controller land in fig8_*_timeseries.csv.
+    cache.attach_timeseries((insertions / 64).max(1), 1 << 15);
     driver.run(&mut cache, insertions);
     let stats = cache.stats();
     let p0 = stats.partition(PartitionId(0));
     let p1 = stats.partition(PartitionId(1));
+    let timeseries = cache.timeseries().expect("recorder attached").rows();
     JobOutput::rows(vec![vec![
         knob.into(),
         value.into(),
@@ -105,6 +109,7 @@ fn run_one(
         format!("{:.4}", p0.aef()),
         format!("{:.4}", p1.aef()),
     ]])
+    .with_timeseries(timeseries)
 }
 
 fn report(_results: &[JobResult], rows: &[Row]) -> String {

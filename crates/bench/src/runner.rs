@@ -32,6 +32,11 @@ pub struct JobOutput {
     pub miss_rate: Option<f64>,
     /// Named scalar statistics for the human-readable report.
     pub stats: Vec<(String, f64)>,
+    /// Optional flight-recorder rows (`time,series,part,value`, see
+    /// [`cachesim::TimeSeriesRecorder::rows`]). When any point of an
+    /// experiment emits some, the experiment writes a sibling
+    /// `<csv>_timeseries.csv` with the point label prepended.
+    pub timeseries: Vec<Row>,
 }
 
 impl JobOutput {
@@ -41,6 +46,7 @@ impl JobOutput {
             rows,
             miss_rate: None,
             stats: Vec::new(),
+            timeseries: Vec::new(),
         }
     }
 
@@ -53,6 +59,12 @@ impl JobOutput {
     /// Attach a named statistic.
     pub fn with_stat(mut self, name: impl Into<String>, value: f64) -> Self {
         self.stats.push((name.into(), value));
+        self
+    }
+
+    /// Attach flight-recorder time-series rows.
+    pub fn with_timeseries(mut self, rows: Vec<Row>) -> Self {
+        self.timeseries = rows;
         self
     }
 }

@@ -5,6 +5,7 @@
 use crate::array::CacheArray;
 use crate::ids::{AccessMeta, PartitionId, SlotId};
 use crate::ranking_api::FutilityRanking;
+use crate::recorder::{RecordCtx, Recorder, TimeSeriesRecorder};
 use crate::scheme_api::{Candidate, PartitionScheme, PartitionState, VictimDecision};
 use crate::stats::CacheStats;
 
@@ -78,6 +79,9 @@ pub struct PartitionedCache {
     partitions: usize,
     cands: Vec<Candidate>,
     decision: VictimDecision,
+    /// Optional flight recorder, ticked after every access. `None` (the
+    /// default) costs one branch per access and zero allocations.
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl PartitionedCache {
@@ -121,6 +125,7 @@ impl PartitionedCache {
             partitions,
             cands: Vec::with_capacity(64),
             decision: VictimDecision::default(),
+            recorder: None,
         }
     }
 
@@ -180,8 +185,61 @@ impl PartitionedCache {
         self.time
     }
 
+    /// Attach a flight recorder; it is ticked after every access from
+    /// now on. Replaces (and drops) any previously attached recorder.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detach and return the attached recorder, if any. The engine
+    /// reverts to the zero-cost no-recorder path.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// The attached recorder, if any (for inspection).
+    pub fn recorder(&self) -> Option<&dyn Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Convenience: attach a [`TimeSeriesRecorder`] sampling every
+    /// `cadence` accesses into a ring of at most `capacity` samples.
+    pub fn attach_timeseries(&mut self, cadence: u64, capacity: usize) {
+        self.set_recorder(Box::new(TimeSeriesRecorder::new(cadence, capacity)));
+    }
+
+    /// The attached recorder downcast to a [`TimeSeriesRecorder`], if
+    /// it is one.
+    pub fn timeseries(&self) -> Option<&TimeSeriesRecorder> {
+        self.recorder.as_ref()?.as_any().downcast_ref()
+    }
+
     /// Process one access from `part` to line `addr`.
     pub fn access(&mut self, part: PartitionId, addr: u64, meta: AccessMeta) -> AccessOutcome {
+        let outcome = self.access_inner(part, addr, meta);
+        if self.recorder.is_some() {
+            self.record_tick();
+        }
+        outcome
+    }
+
+    /// The recorder tick, split out so the no-recorder hot path stays
+    /// small. Taking the recorder out of its `Option` keeps its `&mut`
+    /// disjoint from the state/stats/scheme borrows in the context.
+    fn record_tick(&mut self) {
+        let mut recorder = self.recorder.take().expect("caller checked");
+        recorder.record(&RecordCtx {
+            time: self.time,
+            partitions: self.partitions,
+            state: &self.state,
+            stats: &self.stats,
+            scheme: self.scheme.as_ref(),
+        });
+        self.recorder = Some(recorder);
+    }
+
+    #[inline]
+    fn access_inner(&mut self, part: PartitionId, addr: u64, meta: AccessMeta) -> AccessOutcome {
         debug_assert!(part.index() < self.partitions, "foreign pool access");
         self.time += 1;
         if let Some((slot, occ)) = self.array.lookup_occupant(addr) {
@@ -458,6 +516,45 @@ mod tests {
         c.set_targets(&[48, 16]);
         assert_eq!(c.state().targets[0], 48);
         assert_eq!(c.state().targets[1], 16);
+    }
+
+    #[test]
+    fn attached_timeseries_tracks_live_occupancy() {
+        let mut c = small_cache(2);
+        c.attach_timeseries(16, 4096);
+        for i in 0..400u64 {
+            c.access(PartitionId((i % 2) as u16), i, AccessMeta::default());
+        }
+        let ts = c.timeseries().expect("recorder attached");
+        assert!(!ts.is_empty());
+        // The newest occupancy samples must match the live state.
+        for part in [PartitionId(0), PartitionId(1)] {
+            let last = ts
+                .samples()
+                .rfind(|s| s.series == "occupancy" && s.part == Some(part))
+                .unwrap();
+            // The last tick was at time 400 (a multiple of 16 would be
+            // 400? 400/16 = 25, yes) — occupancy then equals now since
+            // no accesses followed.
+            assert_eq!(last.time, 400);
+            assert_eq!(last.value, c.state().actual[part.index()] as f64);
+        }
+        // Detaching returns the engine to the no-recorder path.
+        let rec = c.take_recorder().unwrap();
+        assert!(c.timeseries().is_none());
+        let n_before = rec
+            .as_any()
+            .downcast_ref::<crate::recorder::TimeSeriesRecorder>()
+            .unwrap()
+            .len();
+        c.access(PartitionId(0), 9999, AccessMeta::default());
+        assert_eq!(
+            rec.as_any()
+                .downcast_ref::<crate::recorder::TimeSeriesRecorder>()
+                .unwrap()
+                .len(),
+            n_before
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod ids;
 pub mod ostree;
 pub mod prng;
 pub mod ranking_api;
+pub mod recorder;
 pub mod scheme_api;
 pub mod stats;
 pub mod trace;
@@ -47,7 +48,8 @@ pub mod umon;
 pub use engine::{AccessOutcome, Eviction, PartitionedCache};
 pub use ids::{AccessMeta, Occupant, PartitionId, SlotId, NO_NEXT_USE};
 pub use ranking_api::FutilityRanking;
-pub use scheme_api::{Candidate, PartitionScheme, PartitionState, VictimDecision};
+pub use recorder::{RecordCtx, Recorder, Sample, TimeSeriesRecorder};
+pub use scheme_api::{Candidate, PartitionScheme, PartitionState, Probe, VictimDecision};
 pub use stats::CacheStats;
 pub use trace::{Access, Trace};
 

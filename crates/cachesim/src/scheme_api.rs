@@ -20,6 +20,41 @@ pub struct Candidate {
     pub futility: f64,
 }
 
+/// One scheme-specific telemetry sample pushed through
+/// [`PartitionScheme::telemetry`]: a named series, optionally tied to a
+/// pool, with the probe's current value. Collected by an attached
+/// [`Recorder`](crate::recorder::Recorder) alongside the engine's
+/// standard per-partition series.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Probe {
+    /// Series name, e.g. `"alpha"`, `"aperture"`, `"shift_width"`.
+    pub name: &'static str,
+    /// Pool the value belongs to, or `None` for cache-global probes.
+    pub part: Option<PartitionId>,
+    /// Current value of the probed quantity.
+    pub value: f64,
+}
+
+impl Probe {
+    /// A per-pool probe.
+    pub fn per_part(name: &'static str, part: PartitionId, value: f64) -> Self {
+        Probe {
+            name,
+            part: Some(part),
+            value,
+        }
+    }
+
+    /// A cache-global probe.
+    pub fn global(name: &'static str, value: f64) -> Self {
+        Probe {
+            name,
+            part: None,
+            value,
+        }
+    }
+}
+
 /// Sizing state the engine maintains on behalf of every scheme.
 #[derive(Clone, Debug, Default)]
 pub struct PartitionState {
@@ -206,6 +241,14 @@ pub trait PartitionScheme: Send {
     fn wants_exact_ranking(&self) -> bool {
         false
     }
+
+    /// Push the scheme's current internal control variables (scaling
+    /// factors, apertures, shift widths, fallback rates, …) into `out`
+    /// for an attached [`Recorder`](crate::recorder::Recorder). Called
+    /// only on recorder sampling ticks — never on the recorder-disabled
+    /// path — so implementations may do modest per-call work, but must
+    /// not assume any particular cadence. The default emits nothing.
+    fn telemetry(&self, _state: &PartitionState, _out: &mut Vec<Probe>) {}
 }
 
 /// The unpartitioned replacement policy: evict the candidate with the

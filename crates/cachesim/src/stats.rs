@@ -18,7 +18,10 @@ pub struct PartitionStats {
     /// Lines of this partition evicted (by any partition's miss).
     pub evictions: u64,
     /// Histogram of the *true* (exact-rank) futility of evicted lines,
-    /// with [`FUTILITY_BINS`] bins over `[0, 1]`.
+    /// with [`FUTILITY_BINS`] bins over `[0, 1]`. Lazily allocated, and
+    /// only populated when [`CacheStats::futility_histogram`] is set
+    /// (needed for associativity CDFs, e.g. Figures 2/4); the AEF sum
+    /// is always maintained. Empty means "no histogram recorded".
     pub evict_futility_hist: Vec<u64>,
     /// Sum of evicted-line futilities; `sum / evictions` is the AEF.
     pub evict_futility_sum: f64,
@@ -52,7 +55,7 @@ impl Default for PartitionStats {
             hits: 0,
             misses: 0,
             evictions: 0,
-            evict_futility_hist: vec![0; FUTILITY_BINS],
+            evict_futility_hist: Vec::new(),
             evict_futility_sum: 0.0,
             size_dev_hist: HashMap::new(),
             size_dev_samples: 0,
@@ -99,8 +102,11 @@ impl PartitionStats {
         let total: u64 = self.evict_futility_hist.iter().sum();
         let mut out = Vec::with_capacity(FUTILITY_BINS);
         let mut acc = 0u64;
-        for (i, &c) in self.evict_futility_hist.iter().enumerate() {
-            acc += c;
+        // The histogram is lazily allocated: an empty vector (histogram
+        // never enabled, or no evictions yet) yields an all-zero CDF of
+        // the usual shape rather than an empty one.
+        for i in 0..FUTILITY_BINS {
+            acc += self.evict_futility_hist.get(i).copied().unwrap_or(0);
             let x = (i + 1) as f64 / FUTILITY_BINS as f64;
             let y = if total == 0 {
                 0.0
@@ -141,9 +147,20 @@ pub struct CacheStats {
     /// sums are folded in lazily from each partition's current
     /// deviation, which changes only when its occupancy does).
     pub deviation_histogram: bool,
+    /// Whether evictions also populate the per-partition
+    /// [`evict_futility_hist`](PartitionStats::evict_futility_hist)
+    /// (needed for associativity CDFs). Off by default — the 1000-bin
+    /// vector per pool is only allocated (lazily) when this is set, so
+    /// throughput runs and figure bins that never read the CDF pay
+    /// neither the memory nor the per-eviction bin update.
+    pub futility_histogram: bool,
     /// Global lazy sample counter: number of deviation ticks taken in
     /// counter-only (no-histogram) mode.
     dev_samples: u64,
+    /// Bumped by every [`reset`](Self::reset): lets an attached recorder
+    /// notice that its interval baselines refer to discarded counters
+    /// (e.g. a post-warmup reset) and rebaseline instead of underflowing.
+    generation: u64,
     /// Pools `0..sampled_parts` take part in deviation sampling (the
     /// engine sets this to its application-partition count; scheme
     /// pools report NaN, exactly as under eager sampling).
@@ -157,9 +174,16 @@ impl CacheStats {
             parts: (0..pools).map(|_| PartitionStats::default()).collect(),
             sample_deviation: true,
             deviation_histogram: false,
+            futility_histogram: false,
             dev_samples: 0,
+            generation: 0,
             sampled_parts: pools,
         }
+    }
+
+    /// Reset generation: incremented by every [`reset`](Self::reset).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Per-partition stats, indexable by `PartitionId::index()`.
@@ -183,12 +207,19 @@ impl CacheStats {
     }
 
     /// Record the eviction of a line of `part` with true futility `f`.
-    pub(crate) fn record_eviction(&mut self, part: PartitionId, futility: f64) {
+    /// Public so out-of-crate arrays/tests can feed stats directly; the
+    /// engine calls it on every replacement.
+    pub fn record_eviction(&mut self, part: PartitionId, futility: f64) {
         let p = &mut self.parts[part.index()];
         p.evictions += 1;
         p.evict_futility_sum += futility;
-        let bin = ((futility * FUTILITY_BINS as f64) as usize).min(FUTILITY_BINS - 1);
-        p.evict_futility_hist[bin] += 1;
+        if self.futility_histogram {
+            if p.evict_futility_hist.is_empty() {
+                p.evict_futility_hist = vec![0; FUTILITY_BINS];
+            }
+            let bin = ((futility * FUTILITY_BINS as f64) as usize).min(FUTILITY_BINS - 1);
+            p.evict_futility_hist[bin] += 1;
+        }
     }
 
     /// Sample size deviations for every pool.
@@ -306,6 +337,7 @@ impl CacheStats {
     /// Reset all counters, keeping the pool count. Useful after warmup.
     pub fn reset(&mut self) {
         self.dev_samples = 0;
+        self.generation += 1;
         for p in &mut self.parts {
             // `cur_dev`/`cur_actual` mirror the cache's live occupancy,
             // which a stats reset does not change — only the
@@ -335,6 +367,7 @@ mod tests {
     #[test]
     fn cdf_is_monotone_and_reaches_one() {
         let mut s = CacheStats::new(1);
+        s.futility_histogram = true;
         for f in [0.1, 0.2, 0.9, 0.95, 1.0] {
             s.record_eviction(PartitionId(0), f);
         }
@@ -431,8 +464,39 @@ mod tests {
     #[test]
     fn futility_one_lands_in_last_bin() {
         let mut s = CacheStats::new(1);
+        s.futility_histogram = true;
         s.record_eviction(PartitionId(0), 1.0);
         let h = &s.partition(PartitionId(0)).evict_futility_hist;
         assert_eq!(h[FUTILITY_BINS - 1], 1);
+    }
+
+    #[test]
+    fn futility_histogram_is_lazy_and_opt_in() {
+        // Off (the default): evictions keep the AEF exact but never
+        // allocate the 1000-bin histogram.
+        let mut s = CacheStats::new(1);
+        s.record_eviction(PartitionId(0), 0.25);
+        let p = s.partition(PartitionId(0));
+        assert!(p.evict_futility_hist.is_empty());
+        assert!((p.aef() - 0.25).abs() < 1e-12);
+        // The CDF still has its usual shape, just all-zero mass.
+        let cdf = p.associativity_cdf();
+        assert_eq!(cdf.len(), FUTILITY_BINS);
+        assert!(cdf.iter().all(|&(_, y)| y == 0.0));
+        // On: the first recorded eviction allocates and bins.
+        s.futility_histogram = true;
+        s.record_eviction(PartitionId(0), 0.25);
+        let p = s.partition(PartitionId(0));
+        assert_eq!(p.evict_futility_hist.len(), FUTILITY_BINS);
+        assert_eq!(p.evict_futility_hist.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn reset_bumps_generation() {
+        let mut s = CacheStats::new(1);
+        assert_eq!(s.generation(), 0);
+        s.reset();
+        s.reset();
+        assert_eq!(s.generation(), 2);
     }
 }

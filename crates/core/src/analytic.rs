@@ -2,7 +2,7 @@
 //! the scheme analyzed in Section IV, used for Figures 4 and 5.
 
 use crate::scaling::{solve_scaling_factors, ScalingError};
-use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, VictimDecision};
+use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, Probe, VictimDecision};
 
 /// FS with fixed per-partition scaling factors: on every eviction the
 /// candidate with the largest `α_p · futility` is evicted.
@@ -79,6 +79,12 @@ impl PartitionScheme for FsAnalytic {
             }
         }
         VictimDecision::evict(best)
+    }
+
+    fn telemetry(&self, _state: &PartitionState, out: &mut Vec<Probe>) {
+        for (i, &a) in self.alphas.iter().enumerate() {
+            out.push(Probe::per_part("alpha", PartitionId(i as u16), a));
+        }
     }
 }
 

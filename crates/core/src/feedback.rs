@@ -12,7 +12,7 @@
 //! `futility × ratio^shift_width` (with the default `ratio = 2` this is
 //! the paper's left-shift by `ScalingShiftWidth` bits).
 
-use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, VictimDecision};
+use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, Probe, VictimDecision};
 
 /// Maximum value of the 3-bit saturating shift-width register.
 pub const MAX_SHIFT_WIDTH: u8 = 7;
@@ -165,6 +165,18 @@ impl PartitionScheme for FsFeedback {
         self.ensure(state.pools());
         self.regs[part.index()].eviction_counter += 1;
         self.maybe_adjust(part, state);
+    }
+
+    fn telemetry(&self, state: &PartitionState, out: &mut Vec<Probe>) {
+        for i in 0..state.pools().min(self.regs.len()) {
+            let part = PartitionId(i as u16);
+            out.push(Probe::per_part(
+                "shift_width",
+                part,
+                self.shift_width(part) as f64,
+            ));
+            out.push(Probe::per_part("alpha", part, self.alpha(part)));
+        }
     }
 }
 

@@ -139,6 +139,20 @@ impl System {
         &self.cache
     }
 
+    /// Attach a flight recorder sampling the shared cache every
+    /// `cadence` accesses into a ring of at most `capacity` samples.
+    /// Recording spans [`run`](Self::run)'s warmup cut — the recorder
+    /// rebaselines its interval counters at the stats reset, and the
+    /// ring keeps the newest samples.
+    pub fn attach_timeseries(&mut self, cadence: u64, capacity: usize) {
+        self.cache.attach_timeseries(cadence, capacity);
+    }
+
+    /// The attached time-series recorder, if any.
+    pub fn timeseries(&self) -> Option<&cachesim::TimeSeriesRecorder> {
+        self.cache.timeseries()
+    }
+
     /// Run every thread to the end of its trace. `warmup_fraction` of
     /// the total accesses is excluded from the reported statistics (the
     /// cache stats are reset at the same point).
@@ -299,6 +313,31 @@ mod tests {
         let t = &r.threads[0];
         assert_eq!(t.misses, 0, "cold misses happened before the cut");
         assert!(t.insts <= 110_000);
+    }
+
+    #[test]
+    fn timeseries_recording_spans_the_warmup_reset() {
+        let trace = Trace::from_addrs((0..20_000u64).map(|i| i % 4096), 10);
+        let mut sys = one_thread_system(trace, 1024);
+        let cadence = 100;
+        sys.attach_timeseries(cadence, 1 << 14);
+        sys.run(0.5);
+        let ts = sys.timeseries().expect("recorder attached");
+        assert!(!ts.is_empty());
+        // Interval miss counts must never exceed the cadence: a
+        // baseline not rebased across the warmup stats reset would
+        // underflow and show up as a gigantic value here.
+        for s in ts.samples().filter(|s| s.series == "misses") {
+            assert!(
+                s.value >= 0.0 && s.value <= cadence as f64,
+                "interval misses {} out of range at t={}",
+                s.value,
+                s.time
+            );
+        }
+        // Samples exist on both sides of the warmup cut (10k accesses).
+        assert!(ts.samples().next().unwrap().time <= 10_000);
+        assert!(ts.samples().next_back().unwrap().time > 10_000);
     }
 
     #[test]

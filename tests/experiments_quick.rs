@@ -81,10 +81,26 @@ const GOLDEN_SMOKE_HASHES: &[(&str, u64)] = &[
     ("fig2_pf_degradation", 0x16f867b28cf7d6a8),
     ("fig4_assoc_cdf", 0xc1d723e646d1632e),
     ("fig5_size_deviation", 0xd6503da5ff853acf),
+    ("fig5_size_deviation_timeseries", 0xc09ed79bccef6a1e),
     ("fig6_assoc_sensitivity", 0xafe04e1ddeb5d284),
-    ("fig7_qos", 0x5dc20f0d5ccecc83),
+    ("fig7_qos", 0x2789b2f7240c1054),
     ("fig8_sensitivity", 0x29ff0202575112b9),
+    ("fig8_sensitivity_timeseries", 0xf5203f357d6baec2),
 ];
+
+/// Every CSV a Smoke sweep leaves in `dir`, sorted by file stem.
+fn csv_stems(dir: &std::path::Path) -> Vec<String> {
+    let mut stems: Vec<String> = fs::read_dir(dir)
+        .expect("read results dir")
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            (path.extension()? == "csv")
+                .then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    stems.sort();
+    stems
+}
 
 #[test]
 fn smoke_csvs_match_golden_hashes() {
@@ -92,16 +108,23 @@ fn smoke_csvs_match_golden_hashes() {
     let exps = experiments::all();
     experiments::run_experiments(&exps, Scale::Smoke, 2, &dir, false, false);
     let golden: HashMap<&str, u64> = GOLDEN_SMOKE_HASHES.iter().copied().collect();
-    assert_eq!(golden.len(), exps.len(), "one pinned hash per experiment");
+    let stems = csv_stems(&dir);
+    assert_eq!(
+        stems,
+        {
+            let mut want: Vec<String> = golden.keys().map(|s| s.to_string()).collect();
+            want.sort();
+            want
+        },
+        "the sweep's CSV file set (main + timeseries) matches the pinned set"
+    );
     let mut mismatches = Vec::new();
-    for exp in &exps {
-        let bytes = fs::read(dir.join(format!("{}.csv", exp.csv))).expect("csv");
+    for stem in &stems {
+        let bytes = fs::read(dir.join(format!("{stem}.csv"))).expect("csv");
         let got = fnv1a64(&bytes);
-        let want = *golden
-            .get(exp.csv)
-            .unwrap_or_else(|| panic!("{}: no pinned hash", exp.csv));
+        let want = golden[stem.as_str()];
         if got != want {
-            mismatches.push(format!("{}: {got:#018x} != pinned {want:#018x}", exp.csv));
+            mismatches.push(format!("{stem}: {got:#018x} != pinned {want:#018x}"));
         }
     }
     let _ = fs::remove_dir_all(&dir);
@@ -121,9 +144,9 @@ fn print_golden_smoke_hashes() {
     let dir = scratch_dir("golden_print");
     let exps = experiments::all();
     experiments::run_experiments(&exps, Scale::Smoke, 2, &dir, false, false);
-    for exp in &exps {
-        let bytes = fs::read(dir.join(format!("{}.csv", exp.csv))).expect("csv");
-        println!("    (\"{}\", {:#018x}),", exp.csv, fnv1a64(&bytes));
+    for stem in csv_stems(&dir) {
+        let bytes = fs::read(dir.join(format!("{stem}.csv"))).expect("csv");
+        println!("    (\"{stem}\", {:#018x}),", fnv1a64(&bytes));
     }
     let _ = fs::remove_dir_all(&dir);
 }
@@ -134,11 +157,12 @@ fn csv_bytes_and_stats_are_thread_count_invariant() {
     let run = |tag: &str, jobs: usize| {
         let dir = scratch_dir(tag);
         let summaries = experiments::run_experiments(&exps, Scale::Smoke, jobs, &dir, false, false);
-        let csvs: HashMap<String, Vec<u8>> = exps
-            .iter()
-            .map(|e| {
-                let bytes = fs::read(dir.join(format!("{}.csv", e.csv))).expect("csv");
-                (e.csv.to_string(), bytes)
+        // Every file the sweep wrote, timeseries siblings included.
+        let csvs: HashMap<String, Vec<u8>> = csv_stems(&dir)
+            .into_iter()
+            .map(|stem| {
+                let bytes = fs::read(dir.join(format!("{stem}.csv"))).expect("csv");
+                (stem, bytes)
             })
             .collect();
         // Aggregate stats, minus wall time (the only nondeterministic field).
@@ -156,6 +180,11 @@ fn csv_bytes_and_stats_are_thread_count_invariant() {
     assert_eq!(
         stats_1, stats_8,
         "aggregate stats identical across thread counts"
+    );
+    assert_eq!(
+        csv_1.keys().collect::<std::collections::BTreeSet<_>>(),
+        csv_8.keys().collect::<std::collections::BTreeSet<_>>(),
+        "same CSV file set across thread counts"
     );
     for (name, bytes) in &csv_1 {
         assert_eq!(

@@ -121,3 +121,39 @@ fn warm_cache_access_never_allocates() {
         failures.join("\n")
     );
 }
+
+#[test]
+fn stats_construction_is_cheap_and_histogram_lazy() {
+    // Constructing stats for many partitions must be O(partitions)
+    // small allocations — not 1000-bin futility histograms per
+    // partition. With the histogram opt-in left off, even recording
+    // evictions must not allocate the bins.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut stats = cachesim::CacheStats::new(64);
+    let after_new = ALLOCS.load(Ordering::Relaxed);
+    assert!(
+        after_new - before <= 8,
+        "CacheStats::new(64) did {} allocations — histogram no longer lazy?",
+        after_new - before
+    );
+    stats.record_eviction(PartitionId(3), 0.5);
+    let after_evict = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after_evict, after_new,
+        "record_eviction allocated without futility_histogram opt-in"
+    );
+    // Opting in allocates the bins exactly once, on first use.
+    stats.futility_histogram = true;
+    stats.record_eviction(PartitionId(3), 0.5);
+    assert!(
+        ALLOCS.load(Ordering::Relaxed) > after_evict,
+        "opt-in first eviction must allocate the histogram"
+    );
+    let after_first = ALLOCS.load(Ordering::Relaxed);
+    stats.record_eviction(PartitionId(3), 0.9);
+    assert_eq!(
+        ALLOCS.load(Ordering::Relaxed),
+        after_first,
+        "later evictions reuse the allocated histogram"
+    );
+}

@@ -1,0 +1,124 @@
+//! The flight recorder is an observer: attaching it must not change
+//! simulation behavior. A testkit property drives two identical caches
+//! — one with a `TimeSeriesRecorder`, one without — through the same
+//! generated access sequence and demands identical outcomes (hit/miss,
+//! evicted line and futility), identical final stats, and identical
+//! partition state, for every scheme/array/ranking combination drawn.
+
+use futility_scaling::prelude::*;
+use testkit::{check, int_range, tk_assert, tk_assert_eq, vec_of, CaseResult};
+
+fn build(scheme_idx: usize, array_idx: usize, ranking_idx: usize, seed: u64) -> PartitionedCache {
+    let scheme: Box<dyn PartitionScheme> = match scheme_idx {
+        0 => Box::new(Pf),
+        1 => Box::new(FsFeedback::default_config()),
+        2 => Box::new(FsAnalytic::with_alphas(vec![1.0, 4.0, 16.0])),
+        3 => Box::new(Vantage::default_config()),
+        _ => Box::new(Prism::default_config()),
+    };
+    let array: Box<dyn cachesim::array::CacheArray> = match array_idx {
+        0 => Box::new(SetAssociative::new(8, 4, LineHash::new(seed))),
+        1 => Box::new(RandomCandidates::new(32, 4, seed)),
+        _ => Box::new(SkewAssociative::new(8, 4, seed)),
+    };
+    let ranking = ranking::by_name(["lru", "coarse-lru", "lfu"][ranking_idx]).unwrap();
+    let mut cache = PartitionedCache::new(array, ranking, scheme, 3);
+    cache.set_targets(&[16, 10, 6]);
+    cache
+}
+
+type ObserverCase = ((Vec<(u16, u64)>, u64), (usize, usize, usize));
+
+fn prop_recorder_is_pure_observer(
+    ((accesses, cadence), (scheme_idx, array_idx, ranking_idx)): &ObserverCase,
+) -> CaseResult {
+    let mut plain = build(*scheme_idx, *array_idx, *ranking_idx, 7);
+    let mut recorded = build(*scheme_idx, *array_idx, *ranking_idx, 7);
+    recorded.attach_timeseries(*cadence, 1 << 12);
+
+    for &(p, base) in accesses {
+        let part = PartitionId(p);
+        let addr = base + (p as u64) * 1_000;
+        let a = plain.access(part, addr, AccessMeta::default());
+        let b = recorded.access(part, addr, AccessMeta::default());
+        tk_assert_eq!(a.is_hit(), b.is_hit());
+        match (a.eviction(), b.eviction()) {
+            (None, None) => {}
+            (Some(ea), Some(eb)) => {
+                tk_assert_eq!(ea.addr, eb.addr);
+                tk_assert!((ea.futility - eb.futility).abs() < 1e-12);
+            }
+            _ => return Err(testkit::Failure::fail("eviction presence diverged")),
+        }
+    }
+
+    // Final aggregate state matches exactly.
+    tk_assert_eq!(plain.state().actual, recorded.state().actual);
+    let (sa, sb) = (plain.stats(), recorded.stats());
+    tk_assert_eq!(sa.total_hits(), sb.total_hits());
+    tk_assert_eq!(sa.total_misses(), sb.total_misses());
+    for p in 0..3u16 {
+        let (pa, pb) = (sa.partition(PartitionId(p)), sb.partition(PartitionId(p)));
+        tk_assert_eq!(pa.evictions, pb.evictions);
+        tk_assert!((pa.evict_futility_sum - pb.evict_futility_sum).abs() < 1e-9);
+    }
+
+    // And the recorder actually recorded: one occupancy sample per
+    // partition per cadence tick that fit in the ring.
+    let ts = recorded.timeseries().expect("recorder attached");
+    let expected_ticks = accesses.len() as u64 / cadence;
+    if expected_ticks > 0 {
+        tk_assert!(!ts.is_empty(), "no samples despite {expected_ticks} ticks");
+        let occ = ts.samples().filter(|s| s.series == "occupancy").count();
+        tk_assert!(occ >= 3, "fewer occupancy samples than partitions");
+    }
+    Ok(())
+}
+
+#[test]
+fn recorder_is_pure_observer() {
+    check(
+        "recorder_is_pure_observer",
+        &(
+            (
+                vec_of((int_range(0u16..3), int_range(0u64..120)), 1..600),
+                int_range(1u64..40),
+            ),
+            (
+                int_range(0usize..5),
+                int_range(0usize..3),
+                int_range(0usize..3),
+            ),
+        ),
+        prop_recorder_is_pure_observer,
+    );
+}
+
+/// Scheme telemetry probes surface through the recorder for the
+/// schemes that define them, with finite values and sane partitions.
+#[test]
+fn scheme_probes_flow_through_recorder() {
+    for (idx, series) in [
+        (1usize, "shift_width"), // FsFeedback
+        (3, "aperture"),         // Vantage
+        (4, "evict_prob"),       // PriSM
+    ] {
+        let mut cache = build(idx, 1, 0, 11);
+        cache.attach_timeseries(16, 1 << 12);
+        for i in 0..2_000u64 {
+            let p = (i % 3) as u16;
+            cache.access(
+                PartitionId(p),
+                (i * 37) % 120 + p as u64 * 1_000,
+                AccessMeta::default(),
+            );
+        }
+        let ts = cache.timeseries().expect("recorder attached");
+        let probes: Vec<_> = ts.samples().filter(|s| s.series == series).collect();
+        assert!(!probes.is_empty(), "scheme {idx}: no `{series}` probes");
+        for s in probes {
+            assert!(s.value.is_finite(), "{series} not finite: {}", s.value);
+            assert!(s.part.is_some(), "{series} must be per-partition");
+        }
+    }
+}
