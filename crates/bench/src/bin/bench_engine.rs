@@ -1,24 +1,32 @@
-//! End-to-end engine throughput over the full array × ranking × scheme
-//! grid: one fixed deterministic trace, one cell per combination,
-//! accesses/sec per cell plus a geomean, emitted as machine-readable
-//! `BENCH_engine.json` so the perf trajectory is tracked from PR to PR.
+//! End-to-end engine throughput over the full workload × array ×
+//! ranking × scheme grid: fixed deterministic traces, one cell per
+//! combination, accesses/sec per cell plus a geomean, emitted as
+//! machine-readable `BENCH_engine.json` so the perf trajectory is
+//! tracked from PR to PR.
+//!
+//! Two workloads bracket the engine's two hot paths:
+//! * `churn` — per-partition footprint 4× the cache, so the steady
+//!   state is eviction-heavy (the miss/replacement path dominates);
+//! * `resident` — total footprint half the cache, so after the cold
+//!   fill every access hits (the lookup/hit path dominates, as in the
+//!   Fig 6/7 sweeps).
 //!
 //! Usage:
 //!   bench_engine [--smoke|--quick] [--out FILE] [--filter SUBSTR]
 //!   bench_engine --validate FILE                  # check an emitted file
 //!   bench_engine --validate FILE --against BASE   # + fail on >10% geomean drop
 //!
-//! `--filter` restricts measurement to cells whose `array/ranking/scheme`
-//! triple contains the substring — for quick one-component comparisons;
-//! a filtered file will not pass `--validate`.
+//! `--filter` restricts measurement to cells whose
+//! `workload/array/ranking/scheme` quad contains the substring — for
+//! quick one-component comparisons; a filtered file will not pass
+//! `--validate`.
 //!
 //! `ci.sh` runs the smoke version and then `--validate`s the emitted
 //! file: it must parse, contain a cell for every grid point, and carry a
 //! finite positive geomean (printed in the CI log).
 
-use cachesim::array::{CacheArray, FullyAssociative, RandomCandidates, SkewAssociative, ZCache};
 use cachesim::prng::{seed_for, Prng};
-use cachesim::{AccessMeta, PartitionId, PartitionedCache, Trace};
+use cachesim::{AccessMeta, Engine, PartitionId, Trace};
 use fs_bench::Scale;
 use std::time::Instant;
 
@@ -37,6 +45,7 @@ const SCHEMES: [&str; 6] = [
     "vantage",
     "prism",
 ];
+const WORKLOADS: [&str; 2] = ["churn", "resident"];
 const PARTS: usize = 4;
 /// Cache size in lines at full scale (256KB of 64B lines).
 const FULL_LINES: usize = 4096;
@@ -46,67 +55,58 @@ const FULL_ACCESSES: usize = 100_000;
 /// smoke measurement is not pure timer noise).
 const MIN_TIMED: usize = 20_000;
 
-fn array_by_name(name: &str, lines: usize, seed: u64) -> Box<dyn CacheArray> {
-    match name {
-        "set-assoc" => fs_bench::l2_array(lines, seed),
-        "skew-assoc" => Box::new(SkewAssociative::new(lines / 16, 16, seed)),
-        "zcache" => Box::new(ZCache::new(lines / 4, 4, 16, seed)),
-        "rand-cands" => Box::new(RandomCandidates::new(lines, 16, seed)),
-        "fully-assoc" => Box::new(FullyAssociative::new(lines)),
-        other => panic!("unknown array {other}"),
-    }
-}
-
-/// The shared workload: partition-interleaved accesses over per-partition
-/// address namespaces (~4× the cache in total footprint, so the steady
-/// state is eviction-heavy), annotated with next-use for OPT.
+/// A partition-interleaved workload over per-partition address
+/// namespaces, annotated with next-use for OPT. `churn` draws each
+/// partition's addresses from a universe as large as the whole cache
+/// (4× total footprint → eviction-heavy); `resident` draws from 1/8th
+/// of it (total footprint half the cache → all hits once warm).
 struct Workload {
-    parts: Vec<u16>,
+    parts: Vec<PartitionId>,
     addrs: Vec<u64>,
-    next_use: Vec<u64>,
+    metas: Vec<AccessMeta>,
 }
 
 impl Workload {
-    fn generate(accesses: usize, lines: usize) -> Workload {
-        let mut rng = Prng::seed_from_u64(seed_for("bench_engine", 0));
-        let universe = lines as u64; // per partition => 4× cache total
+    fn generate(kind: &str, accesses: usize, lines: usize) -> Workload {
+        let (seed_idx, universe) = match kind {
+            "churn" => (0, lines as u64),
+            "resident" => (1, (lines as u64 / 8).max(1)),
+            other => panic!("unknown workload {other}"),
+        };
+        let mut rng = Prng::seed_from_u64(seed_for("bench_engine", seed_idx));
         let mut parts = Vec::with_capacity(accesses);
         let mut addrs = Vec::with_capacity(accesses);
         for _ in 0..accesses {
             let p: u16 = rng.gen_range(0..PARTS as u16);
-            parts.push(p);
+            parts.push(PartitionId(p));
             addrs.push(p as u64 * 1_000_000 + rng.gen_range(0..universe));
         }
         let trace = Trace::from_addrs(addrs.iter().copied(), 1);
-        let next_use = trace.annotate_next_use();
+        let metas = trace
+            .annotate_next_use()
+            .into_iter()
+            .map(AccessMeta::with_next_use)
+            .collect();
         Workload {
             parts,
             addrs,
-            next_use,
+            metas,
         }
     }
 
-    fn drive(&self, cache: &mut PartitionedCache) {
-        for i in 0..self.addrs.len() {
-            cache.access(
-                PartitionId(self.parts[i]),
-                self.addrs[i],
-                AccessMeta::with_next_use(self.next_use[i]),
-            );
-        }
+    /// One full pass through the trace via the batched pipeline (one
+    /// virtual call per pass; lookups software-pipelined inside).
+    fn drive(&self, cache: &mut dyn Engine) {
+        cache.access_batch_slices(&self.parts, &self.addrs, &self.metas);
     }
 }
 
 fn measure_cell(array: &str, ranking: &str, scheme: &str, lines: usize, wl: &Workload) -> f64 {
-    let mut cache = PartitionedCache::new(
-        array_by_name(array, lines, 7),
-        fs_bench::futility_ranking(ranking),
-        fs_bench::scheme(scheme),
-        PARTS,
-    );
+    // Monomorphized core for this array × ranking combination.
+    let mut cache = fs_bench::engine_for(array, ranking, scheme, lines, 7, PARTS);
     cache.stats_mut().sample_deviation = false;
     // Warm up: fill the cache and size every internal structure.
-    wl.drive(&mut cache);
+    wl.drive(cache.as_mut());
     // Time each pass separately and report the best rate: throughput
     // noise on a shared machine is one-sided (competing load only slows
     // a pass down), so max-of-passes estimates the engine's capability
@@ -116,7 +116,7 @@ fn measure_cell(array: &str, ranking: &str, scheme: &str, lines: usize, wl: &Wor
     let mut best = 0.0f64;
     for _ in 0..reps {
         let t0 = Instant::now();
-        wl.drive(&mut cache);
+        wl.drive(cache.as_mut());
         let dt = t0.elapsed().as_secs_f64().max(1e-9);
         best = best.max(wl.addrs.len() as f64 / dt);
     }
@@ -145,29 +145,31 @@ fn run_grid() {
     let filter = cli_value("--filter");
     let lines = scale.lines(FULL_LINES);
     let accesses = scale.accesses(FULL_ACCESSES);
-    let wl = Workload::generate(accesses, lines);
 
     let mut cells = String::new();
     let mut log_sum = 0.0f64;
     let mut n = 0usize;
-    for array in ARRAYS {
-        for ranking in ranking::ALL_RANKINGS {
-            for scheme in SCHEMES {
-                if let Some(f) = &filter {
-                    if !format!("{array}/{ranking}/{scheme}").contains(f.as_str()) {
-                        continue;
+    for workload in WORKLOADS {
+        let wl = Workload::generate(workload, accesses, lines);
+        for array in ARRAYS {
+            for ranking in ranking::ALL_RANKINGS {
+                for scheme in SCHEMES {
+                    if let Some(f) = &filter {
+                        if !format!("{workload}/{array}/{ranking}/{scheme}").contains(f.as_str()) {
+                            continue;
+                        }
                     }
+                    let aps = measure_cell(array, ranking, scheme, lines, &wl);
+                    if n > 0 {
+                        cells.push_str(",\n");
+                    }
+                    cells.push_str(&format!(
+                        "    {{\"workload\":\"{workload}\",\"array\":\"{array}\",\"ranking\":\"{ranking}\",\"scheme\":\"{scheme}\",\"accesses_per_sec\":{aps:.1}}}"
+                    ));
+                    log_sum += aps.ln();
+                    n += 1;
+                    println!("{workload:8} {array:12} {ranking:11} {scheme:14} {aps:>12.0} acc/s");
                 }
-                let aps = measure_cell(array, ranking, scheme, lines, &wl);
-                if n > 0 {
-                    cells.push_str(",\n");
-                }
-                cells.push_str(&format!(
-                    "    {{\"array\":\"{array}\",\"ranking\":\"{ranking}\",\"scheme\":\"{scheme}\",\"accesses_per_sec\":{aps:.1}}}"
-                ));
-                log_sum += aps.ln();
-                n += 1;
-                println!("{array:12} {ranking:11} {scheme:14} {aps:>12.0} acc/s");
             }
         }
     }
@@ -191,15 +193,17 @@ fn run_grid() {
 fn validate(path: &str) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     let mut missing = 0usize;
-    for array in ARRAYS {
-        for ranking in ranking::ALL_RANKINGS {
-            for scheme in SCHEMES {
-                let needle = format!(
-                    "{{\"array\":\"{array}\",\"ranking\":\"{ranking}\",\"scheme\":\"{scheme}\",\"accesses_per_sec\":"
-                );
-                if !text.contains(&needle) {
-                    eprintln!("missing cell: {array} × {ranking} × {scheme}");
-                    missing += 1;
+    for workload in WORKLOADS {
+        for array in ARRAYS {
+            for ranking in ranking::ALL_RANKINGS {
+                for scheme in SCHEMES {
+                    let needle = format!(
+                        "{{\"workload\":\"{workload}\",\"array\":\"{array}\",\"ranking\":\"{ranking}\",\"scheme\":\"{scheme}\",\"accesses_per_sec\":"
+                    );
+                    if !text.contains(&needle) {
+                        eprintln!("missing cell: {workload} × {array} × {ranking} × {scheme}");
+                        missing += 1;
+                    }
                 }
             }
         }
@@ -215,7 +219,7 @@ fn validate(path: &str) {
         (0, Some(g)) if g.is_finite() && g > 0.0 => {
             println!(
                 "{path} OK: {} cells, geomean {g:.0} accesses/sec",
-                ARRAYS.len() * ranking::ALL_RANKINGS.len() * SCHEMES.len()
+                WORKLOADS.len() * ARRAYS.len() * ranking::ALL_RANKINGS.len() * SCHEMES.len()
             );
         }
         (m, g) => {

@@ -7,10 +7,13 @@
 //! series next to the measured ones, and drop a CSV under `results/`.
 
 use cachesim::array::CacheArray;
-use cachesim::array::{FullyAssociative, RandomCandidates, SetAssociative};
+use cachesim::array::{
+    FullyAssociative, RandomCandidates, SetAssociative, SkewAssociative, ZCache,
+};
 use cachesim::hashing::LineHash;
-use cachesim::{FutilityRanking, PartitionScheme};
+use cachesim::{Engine, EngineCore, FutilityRanking, PartitionScheme};
 use futility_core::{FeedbackConfig, FsFeedback};
+use ranking::{CoarseLru, ExactLru, Lfu, Opt, RandomRanking, Rrip};
 use std::path::{Path, PathBuf};
 
 pub mod experiments;
@@ -139,6 +142,84 @@ pub fn futility_ranking(name: &str) -> Box<dyn FutilityRanking> {
     ranking::by_name(name).unwrap_or_else(|| panic!("unknown ranking {name}"))
 }
 
+/// Build an engine for one benchmark-grid cell, monomorphized over the
+/// array × ranking combination (30 concrete [`EngineCore`]s behind one
+/// object-safe [`Engine`]). The array geometry matches `bench_engine`'s
+/// grid: 16 candidate ways per array kind at the given line count. The
+/// scheme stays a trait object — no scheme hooks into the per-access hot
+/// path beyond `notify_hit`, which none override, so devirtualizing it
+/// buys nothing (DESIGN.md §10).
+///
+/// Unknown ranking names fall back to the fully boxed
+/// [`PartitionedCache`](cachesim::PartitionedCache) composition;
+/// unknown array names panic (the experiment binaries are the only
+/// callers).
+pub fn engine_for(
+    array: &str,
+    ranking_name: &str,
+    scheme_name: &str,
+    lines: usize,
+    seed: u64,
+    partitions: usize,
+) -> Box<dyn Engine> {
+    macro_rules! with_ranking {
+        ($arr:expr) => {
+            match ranking_name {
+                "lru" => Box::new(EngineCore::new(
+                    $arr,
+                    ExactLru::new(),
+                    scheme(scheme_name),
+                    partitions,
+                )) as Box<dyn Engine>,
+                "coarse-lru" => Box::new(EngineCore::new(
+                    $arr,
+                    CoarseLru::new(),
+                    scheme(scheme_name),
+                    partitions,
+                )),
+                "lfu" => Box::new(EngineCore::new(
+                    $arr,
+                    Lfu::new(),
+                    scheme(scheme_name),
+                    partitions,
+                )),
+                "opt" => Box::new(EngineCore::new(
+                    $arr,
+                    Opt::new(),
+                    scheme(scheme_name),
+                    partitions,
+                )),
+                "random" => Box::new(EngineCore::new(
+                    $arr,
+                    RandomRanking::new(0xFACE),
+                    scheme(scheme_name),
+                    partitions,
+                )),
+                "rrip" => Box::new(EngineCore::new(
+                    $arr,
+                    Rrip::new(),
+                    scheme(scheme_name),
+                    partitions,
+                )),
+                other => Box::new(EngineCore::new(
+                    Box::new($arr) as Box<dyn CacheArray>,
+                    futility_ranking(other),
+                    scheme(scheme_name),
+                    partitions,
+                )),
+            }
+        };
+    }
+    match array {
+        "set-assoc" => with_ranking!(SetAssociative::with_lines(lines, 16, LineHash::new(seed))),
+        "skew-assoc" => with_ranking!(SkewAssociative::new(lines / 16, 16, seed)),
+        "zcache" => with_ranking!(ZCache::new(lines / 4, 4, 16, seed)),
+        "rand-cands" => with_ranking!(RandomCandidates::new(lines, 16, seed)),
+        "fully-assoc" => with_ranking!(FullyAssociative::new(lines)),
+        other => panic!("unknown array {other}"),
+    }
+}
+
 /// Directory where binaries drop CSV series; created on demand.
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from("results");
@@ -209,5 +290,39 @@ mod tests {
     fn fmt3_renders_nan_as_dash() {
         assert_eq!(fmt3(f64::NAN), "-");
         assert_eq!(fmt3(0.25), "0.250");
+    }
+
+    #[test]
+    fn engine_for_matches_boxed_composition() {
+        use cachesim::{AccessBlock, AccessMeta, PartitionId, PartitionedCache};
+        for (arr, rank) in [("set-assoc", "lru"), ("zcache", "rrip")] {
+            let mut mono = engine_for(arr, rank, "pf", 256, 9, 2);
+            let array: Box<dyn CacheArray> = match arr {
+                "set-assoc" => l2_array(256, 9),
+                _ => Box::new(ZCache::new(64, 4, 16, 9)),
+            };
+            let mut boxed = PartitionedCache::new(array, futility_ranking(rank), scheme("pf"), 2);
+            let mut block = AccessBlock::new();
+            let mut x = 3u64;
+            for _ in 0..4000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+                block.push(
+                    PartitionId((x % 2) as u16),
+                    (x >> 33) % 512,
+                    AccessMeta::default(),
+                );
+            }
+            let hits = mono.access_batch(&block);
+            for i in 0..block.len() {
+                boxed.access(block.parts()[i], block.addrs()[i], block.metas()[i]);
+            }
+            assert_eq!(hits, boxed.stats().total_hits(), "{arr}/{rank}");
+            assert_eq!(
+                mono.stats().total_misses(),
+                boxed.stats().total_misses(),
+                "{arr}/{rank}"
+            );
+            assert_eq!(mono.state().actual, boxed.state().actual, "{arr}/{rank}");
+        }
     }
 }

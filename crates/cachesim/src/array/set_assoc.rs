@@ -113,6 +113,15 @@ impl CacheArray for SetAssociative {
         self.table.lookup_occupant(addr)
     }
 
+    // `prefetch_lookup` deliberately keeps the no-op default. The
+    // probed set is a pure function of the address, so prefetching the
+    // set's slot range ahead of the dependent occupant read is
+    // possible — but measured *slower* than not prefetching: computing
+    // the hint address repeats the index hash (a virtual `IndexHash`
+    // call plus a `% sets` division) per hint, which costs more than
+    // the latency it hides, because the out-of-order core already
+    // overlaps the independent lookups of neighbouring accesses.
+
     fn evict(&mut self, slot: SlotId) {
         self.table.evict(slot);
     }

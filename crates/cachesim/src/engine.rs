@@ -1,10 +1,31 @@
 //! The trace-driven simulation engine composing a cache array, a
 //! futility ranking and a partitioning scheme into one partitioned
 //! shared cache.
+//!
+//! The engine is generic: [`EngineCore<A, R, S>`] is monomorphized over
+//! its three components, so the hot grid combinations used by the
+//! throughput benches and figure sweeps compile to fully inlined,
+//! devirtualized cores (see `fs_bench::engine_for`). The historical
+//! boxed composition survives unchanged as the [`PartitionedCache`]
+//! type alias — `EngineCore` over `Box<dyn …>` components — so every
+//! existing experiment and test API keeps working.
+//!
+//! Accesses enter either one at a time ([`EngineCore::access`]) or in
+//! blocks ([`EngineCore::access_batch`]): the batched pipeline applies
+//! runs of consecutive hits through one bulk
+//! [`on_hit_batch`](crate::ranking_api::FutilityRanking::on_hit_batch)
+//! ranking call — which treap-backed rankings deduplicate per line —
+//! while misses fall back to the exact scalar replacement path. For
+//! arrays that opt in (`CacheArray::wants_lookup_prefetch`), it also
+//! keeps the index lookups of up to 16 upcoming accesses prefetched
+//! ahead of the dependent probes (mirroring `OsTreap`'s interleaved
+//! rank walks); no current array does — see the measurement note in
+//! `array/set_assoc.rs`. The two entry points are bit-for-bit
+//! equivalent.
 
 use crate::array::CacheArray;
 use crate::ids::{AccessMeta, PartitionId, SlotId};
-use crate::ranking_api::FutilityRanking;
+use crate::ranking_api::{FutilityRanking, HitRecord};
 use crate::recorder::{RecordCtx, Recorder, TimeSeriesRecorder};
 use crate::scheme_api::{Candidate, PartitionScheme, PartitionState, VictimDecision};
 use crate::stats::CacheStats;
@@ -48,12 +69,99 @@ impl AccessOutcome {
     }
 }
 
-/// A partitioned shared cache: array + futility ranking + scheme.
+/// A struct-of-arrays block of accesses, the unit the batched drivers
+/// hand to [`EngineCore::access_batch`]. Reuse one block across flushes
+/// ([`clear`](Self::clear) keeps the capacity) to keep the driver loop
+/// allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct AccessBlock {
+    parts: Vec<PartitionId>,
+    addrs: Vec<u64>,
+    metas: Vec<AccessMeta>,
+}
+
+impl AccessBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        AccessBlock::default()
+    }
+
+    /// An empty block with room for `cap` accesses per flush.
+    pub fn with_capacity(cap: usize) -> Self {
+        AccessBlock {
+            parts: Vec::with_capacity(cap),
+            addrs: Vec::with_capacity(cap),
+            metas: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append one access.
+    #[inline]
+    pub fn push(&mut self, part: PartitionId, addr: u64, meta: AccessMeta) {
+        self.parts.push(part);
+        self.addrs.push(addr);
+        self.metas.push(meta);
+    }
+
+    /// Number of queued accesses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the block is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Drop the queued accesses, keeping the allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.parts.clear();
+        self.addrs.clear();
+        self.metas.clear();
+    }
+
+    /// The partition of each queued access.
+    pub fn parts(&self) -> &[PartitionId] {
+        &self.parts
+    }
+
+    /// The line address of each queued access.
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// The metadata of each queued access.
+    pub fn metas(&self) -> &[AccessMeta] {
+        &self.metas
+    }
+}
+
+/// How many accesses ahead the batched pipeline issues
+/// [`CacheArray::prefetch_lookup`] hints. Matches `OsTreap`'s
+/// interleaved walk width: enough in-flight loads to cover memory
+/// latency, few enough to not thrash L1.
+const LOOKAHEAD: usize = 16;
+
+/// A partitioned shared cache: array + futility ranking + scheme,
+/// monomorphized over the three component types.
+///
+/// Most callers want the boxed composition [`PartitionedCache`]; the
+/// generic form exists so hot component combinations can be compiled
+/// into dedicated, fully inlined cores (built e.g. by
+/// `fs_bench::engine_for`) that the [`Engine`] trait then dispatches to
+/// with one virtual call per *batch* instead of several per access.
 ///
 /// # Example
 ///
+/// Feed accesses in blocks through the batched pipeline (the
+/// recommended driver entry point — bit-for-bit identical to per-access
+/// [`access`](Self::access), but software-pipelined):
+///
 /// ```
-/// use cachesim::{PartitionedCache, PartitionId, AccessMeta};
+/// use cachesim::{AccessBlock, PartitionedCache, PartitionId, AccessMeta};
 /// use cachesim::array::RandomCandidates;
 ///
 /// let array = RandomCandidates::new(256, 16, 42);
@@ -64,39 +172,47 @@ impl AccessOutcome {
 ///     2,
 /// );
 /// cache.set_targets(&[128, 128]);
+/// let mut block = AccessBlock::with_capacity(512);
 /// for addr in 0..512u64 {
-///     cache.access(PartitionId((addr % 2) as u16), addr, AccessMeta::default());
+///     block.push(PartitionId((addr % 2) as u16), addr, AccessMeta::default());
 /// }
+/// let hits = cache.access_batch(&block);
+/// assert_eq!(hits, 0);
 /// assert_eq!(cache.stats().total_misses(), 512);
 /// ```
-pub struct PartitionedCache {
-    array: Box<dyn CacheArray>,
-    ranking: Box<dyn FutilityRanking>,
-    scheme: Box<dyn PartitionScheme>,
+pub struct EngineCore<A, R, S> {
+    array: A,
+    ranking: R,
+    scheme: S,
     state: PartitionState,
     stats: CacheStats,
     time: u64,
     partitions: usize,
     cands: Vec<Candidate>,
     decision: VictimDecision,
+    /// Deferred consecutive-hit run of the batched pipeline, flushed
+    /// into one `on_hit_batch` ranking call at run boundaries.
+    hit_run: Vec<HitRecord>,
     /// Optional flight recorder, ticked after every access. `None` (the
     /// default) costs one branch per access and zero allocations.
     recorder: Option<Box<dyn Recorder>>,
 }
 
-impl PartitionedCache {
+/// The classic boxed composition: an [`EngineCore`] whose components
+/// are trait objects. All pre-batching code built against
+/// `PartitionedCache` keeps compiling unchanged; it now doubles as the
+/// compatibility wrapper around the generic core.
+pub type PartitionedCache =
+    EngineCore<Box<dyn CacheArray>, Box<dyn FutilityRanking>, Box<dyn PartitionScheme>>;
+
+impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> {
     /// Compose a cache with `partitions` application partitions. Targets
     /// default to an equal share of the array; adjust with
     /// [`set_targets`](Self::set_targets).
     ///
     /// # Panics
     /// Panics if `partitions == 0`.
-    pub fn new(
-        array: Box<dyn CacheArray>,
-        mut ranking: Box<dyn FutilityRanking>,
-        mut scheme: Box<dyn PartitionScheme>,
-        partitions: usize,
-    ) -> Self {
+    pub fn new(array: A, mut ranking: R, mut scheme: S, partitions: usize) -> Self {
         assert!(partitions > 0, "need at least one partition");
         let pools = partitions + scheme.extra_pools();
         ranking.reset(pools);
@@ -115,7 +231,7 @@ impl PartitionedCache {
         for (i, &t) in state.targets.iter().enumerate().take(partitions) {
             stats.update_occupancy(i, 0, t);
         }
-        PartitionedCache {
+        EngineCore {
             stats,
             array,
             ranking,
@@ -125,6 +241,7 @@ impl PartitionedCache {
             partitions,
             cands: Vec::with_capacity(64),
             decision: VictimDecision::default(),
+            hit_run: Vec::new(),
             recorder: None,
         }
     }
@@ -167,17 +284,17 @@ impl PartitionedCache {
 
     /// The futility ranking (for inspection).
     pub fn ranking(&self) -> &dyn FutilityRanking {
-        self.ranking.as_ref()
+        &self.ranking
     }
 
     /// The scheme (for inspection).
     pub fn scheme(&self) -> &dyn PartitionScheme {
-        self.scheme.as_ref()
+        &self.scheme
     }
 
     /// The array (for inspection).
     pub fn array(&self) -> &dyn CacheArray {
-        self.array.as_ref()
+        &self.array
     }
 
     /// Engine time: number of accesses processed so far.
@@ -223,6 +340,174 @@ impl PartitionedCache {
         outcome
     }
 
+    /// Process a block of accesses through the software-pipelined batch
+    /// path, returning the number of hits. Observably identical to
+    /// calling [`access`](Self::access) per element — same outcomes,
+    /// statistics, component state and recorder samples — but runs of
+    /// consecutive hits are applied through one bulk ranking call that
+    /// treap-backed rankings collapse to one update per distinct line,
+    /// and arrays that opt into lookup prefetching get the index lines
+    /// of up to 16 upcoming accesses hinted ahead of the dependent
+    /// lookups.
+    pub fn access_batch(&mut self, block: &AccessBlock) -> u64 {
+        self.access_batch_slices(&block.parts, &block.addrs, &block.metas)
+    }
+
+    /// [`access_batch`](Self::access_batch), additionally appending
+    /// every access's [`AccessOutcome`] to `outcomes` (in access order).
+    pub fn access_batch_into(
+        &mut self,
+        block: &AccessBlock,
+        outcomes: &mut Vec<AccessOutcome>,
+    ) -> u64 {
+        self.batch_impl::<true>(&block.parts, &block.addrs, &block.metas, outcomes)
+    }
+
+    /// Slice form of [`access_batch`](Self::access_batch), for drivers
+    /// that already hold struct-of-arrays access streams.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    pub fn access_batch_slices(
+        &mut self,
+        parts: &[PartitionId],
+        addrs: &[u64],
+        metas: &[AccessMeta],
+    ) -> u64 {
+        let mut sink = Vec::new();
+        self.batch_impl::<false>(parts, addrs, metas, &mut sink)
+    }
+
+    fn batch_impl<const RECORD: bool>(
+        &mut self,
+        parts: &[PartitionId],
+        addrs: &[u64],
+        metas: &[AccessMeta],
+        outcomes: &mut Vec<AccessOutcome>,
+    ) -> u64 {
+        assert_eq!(parts.len(), addrs.len(), "batch slice lengths differ");
+        assert_eq!(metas.len(), addrs.len(), "batch slice lengths differ");
+        let n = addrs.len();
+        if RECORD {
+            outcomes.reserve(n);
+        }
+        // A recorder observes the engine after every access, so the
+        // batch must not defer anything; fall back to the scalar path.
+        if self.recorder.is_some() {
+            let mut hits = 0u64;
+            for i in 0..n {
+                let out = self.access(parts[i], addrs[i], metas[i]);
+                hits += u64::from(out.is_hit());
+                if RECORD {
+                    outcomes.push(out);
+                }
+            }
+            return hits;
+        }
+        let mut hits = 0u64;
+        let mut pf = 0usize;
+        // Rankings that ignore hits (stable random ranks) skip the
+        // record collection entirely; the deferred-run machinery then
+        // costs nothing on the hit path. Likewise the hint cursor only
+        // runs for arrays that can compute probe addresses up front —
+        // even a no-op hint loop measurably slows the hit path, so
+        // both hooks are opt-in, checked once per batch.
+        let collect_hits = self.ranking.wants_hit_records();
+        let prefetch = self.array.wants_lookup_prefetch();
+        for i in 0..n {
+            // Keep up to LOOKAHEAD lookup hints in flight. The hint is
+            // issued before the dependent lookup chain below, so by the
+            // time access `i + LOOKAHEAD` is processed the index lines
+            // its probe touches are (usually) already in cache. Misses
+            // mutate the index and may invalidate a hinted line; that
+            // only costs the hint.
+            if prefetch {
+                let pf_to = (i + LOOKAHEAD).min(n);
+                while pf < pf_to {
+                    self.array.prefetch_lookup(addrs[pf]);
+                    pf += 1;
+                }
+            }
+            let (part, addr, meta) = (parts[i], addrs[i], metas[i]);
+            debug_assert!(part.index() < self.partitions, "foreign pool access");
+            self.time += 1;
+            match self.array.lookup_occupant(addr) {
+                Some((slot, occ)) if occ.part == part => {
+                    // Simple hit: queue the ranking update; the stats
+                    // and scheme notification commute with it (neither
+                    // reads ranking state), so they apply immediately.
+                    if collect_hits {
+                        self.hit_run.push(HitRecord {
+                            part,
+                            addr,
+                            slot,
+                            time: self.time,
+                            meta,
+                        });
+                    }
+                    self.scheme.notify_hit(part);
+                    self.stats.record_hit(part);
+                    hits += 1;
+                    if RECORD {
+                        outcomes.push(AccessOutcome::Hit);
+                    }
+                }
+                Some((slot, occ)) => {
+                    // Foreign hit: the scheme may retag, which touches
+                    // ranking and array state — flush the deferred run
+                    // first, then take the exact scalar path.
+                    self.flush_hit_run();
+                    let mut pool = occ.part;
+                    if let Some(dest) = self.scheme.on_foreign_hit(pool, part) {
+                        self.apply_retag(slot, pool, dest, addr);
+                        pool = dest;
+                    }
+                    self.ranking.on_hit(pool, addr, self.time, meta);
+                    self.scheme.notify_hit(pool);
+                    self.stats.record_hit(part);
+                    hits += 1;
+                    if RECORD {
+                        outcomes.push(AccessOutcome::Hit);
+                    }
+                }
+                None => {
+                    // Replacement decisions read ranking state: the
+                    // deferred hits must land first.
+                    self.flush_hit_run();
+                    let out = self.miss_path(part, addr, meta);
+                    if RECORD {
+                        outcomes.push(out);
+                    }
+                }
+            }
+        }
+        self.flush_hit_run();
+        hits
+    }
+
+    /// Apply the deferred hit run. Long runs go through one bulk
+    /// ranking call (which treap-backed rankings deduplicate per
+    /// line); short runs replay through scalar `on_hit` — on
+    /// miss-heavy traces nearly every run has a single record, and
+    /// the bulk call's dedup scratch costs more than it saves there.
+    /// The two paths are observably identical by the `on_hit_batch`
+    /// contract.
+    #[inline]
+    fn flush_hit_run(&mut self) {
+        const BULK_THRESHOLD: usize = 4;
+        if self.hit_run.is_empty() {
+            return;
+        }
+        if self.hit_run.len() < BULK_THRESHOLD {
+            for h in &self.hit_run {
+                self.ranking.on_hit(h.part, h.addr, h.time, h.meta);
+            }
+        } else {
+            self.ranking.on_hit_batch(&self.hit_run);
+        }
+        self.hit_run.clear();
+    }
+
     /// The recorder tick, split out so the no-recorder hot path stays
     /// small. Taking the recorder out of its `Option` keeps its `&mut`
     /// disjoint from the state/stats/scheme borrows in the context.
@@ -233,7 +518,7 @@ impl PartitionedCache {
             partitions: self.partitions,
             state: &self.state,
             stats: &self.stats,
-            scheme: self.scheme.as_ref(),
+            scheme: &self.scheme,
         });
         self.recorder = Some(recorder);
     }
@@ -255,7 +540,12 @@ impl PartitionedCache {
             self.stats.record_hit(part);
             return AccessOutcome::Hit;
         }
+        self.miss_path(part, addr, meta)
+    }
 
+    /// The replacement path shared by the scalar and batched pipelines:
+    /// record the miss, pick (and evict) a victim, install the line.
+    fn miss_path(&mut self, part: PartitionId, addr: u64, meta: AccessMeta) -> AccessOutcome {
         self.stats.record_miss(part);
         let dest_pool = self.scheme.insertion_pool(part);
 
@@ -400,6 +690,94 @@ impl PartitionedCache {
         self.state.insertions[pool.index()] += 1;
         self.occupancy_changed(pool);
         self.scheme.notify_insert(pool, &self.state);
+    }
+}
+
+/// Object-safe engine interface: what drivers and benches need, one
+/// virtual call per operation (and per *batch*, not per access, on the
+/// batched path). `fs_bench::engine_for` returns monomorphized
+/// [`EngineCore`]s behind this trait for the hot grid combinations and
+/// falls back to the boxed [`PartitionedCache`] otherwise.
+pub trait Engine: Send {
+    /// Process one access (see [`EngineCore::access`]).
+    fn access(&mut self, part: PartitionId, addr: u64, meta: AccessMeta) -> AccessOutcome;
+    /// Process a block of accesses, returning the hit count (see
+    /// [`EngineCore::access_batch`]).
+    fn access_batch(&mut self, block: &AccessBlock) -> u64;
+    /// Batched processing that also reports per-access outcomes (see
+    /// [`EngineCore::access_batch_into`]).
+    fn access_batch_into(&mut self, block: &AccessBlock, outcomes: &mut Vec<AccessOutcome>) -> u64;
+    /// Slice form of [`access_batch`](Engine::access_batch).
+    fn access_batch_slices(
+        &mut self,
+        parts: &[PartitionId],
+        addrs: &[u64],
+        metas: &[AccessMeta],
+    ) -> u64;
+    /// Set per-partition targets (see [`EngineCore::set_targets`]).
+    fn set_targets(&mut self, targets: &[usize]);
+    /// Number of application partitions.
+    fn partitions(&self) -> usize;
+    /// Simulation statistics.
+    fn stats(&self) -> &CacheStats;
+    /// Mutable statistics.
+    fn stats_mut(&mut self) -> &mut CacheStats;
+    /// Current sizing state.
+    fn state(&self) -> &PartitionState;
+    /// Engine time.
+    fn time(&self) -> u64;
+    /// The array (for inspection).
+    fn array(&self) -> &dyn CacheArray;
+    /// The ranking (for inspection).
+    fn ranking(&self) -> &dyn FutilityRanking;
+    /// The scheme (for inspection).
+    fn scheme(&self) -> &dyn PartitionScheme;
+}
+
+impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> Engine for EngineCore<A, R, S> {
+    fn access(&mut self, part: PartitionId, addr: u64, meta: AccessMeta) -> AccessOutcome {
+        EngineCore::access(self, part, addr, meta)
+    }
+    fn access_batch(&mut self, block: &AccessBlock) -> u64 {
+        EngineCore::access_batch(self, block)
+    }
+    fn access_batch_into(&mut self, block: &AccessBlock, outcomes: &mut Vec<AccessOutcome>) -> u64 {
+        EngineCore::access_batch_into(self, block, outcomes)
+    }
+    fn access_batch_slices(
+        &mut self,
+        parts: &[PartitionId],
+        addrs: &[u64],
+        metas: &[AccessMeta],
+    ) -> u64 {
+        EngineCore::access_batch_slices(self, parts, addrs, metas)
+    }
+    fn set_targets(&mut self, targets: &[usize]) {
+        EngineCore::set_targets(self, targets)
+    }
+    fn partitions(&self) -> usize {
+        EngineCore::partitions(self)
+    }
+    fn stats(&self) -> &CacheStats {
+        EngineCore::stats(self)
+    }
+    fn stats_mut(&mut self) -> &mut CacheStats {
+        EngineCore::stats_mut(self)
+    }
+    fn state(&self) -> &PartitionState {
+        EngineCore::state(self)
+    }
+    fn time(&self) -> u64 {
+        EngineCore::time(self)
+    }
+    fn array(&self) -> &dyn CacheArray {
+        EngineCore::array(self)
+    }
+    fn ranking(&self) -> &dyn FutilityRanking {
+        EngineCore::ranking(self)
+    }
+    fn scheme(&self) -> &dyn PartitionScheme {
+        EngineCore::scheme(self)
     }
 }
 
@@ -567,5 +945,72 @@ mod tests {
         let stats = c.stats().partition(p);
         assert_eq!(stats.evictions, 200 - 64);
         assert!(stats.aef() > 0.5, "LRU + R=8 should beat random eviction");
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_mixed_traffic() {
+        // A quick inline spot check; the full cross-product equivalence
+        // property lives in tests/batch_equivalence.rs.
+        let mut scalar = small_cache(2);
+        let mut batched = small_cache(2);
+        let mut block = AccessBlock::with_capacity(256);
+        let mut x = 7u64;
+        for _ in 0..256 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            block.push(
+                PartitionId((x % 2) as u16),
+                (x >> 32) % 96,
+                AccessMeta::default(),
+            );
+        }
+        let mut expect = Vec::new();
+        for i in 0..block.len() {
+            expect.push(scalar.access(block.parts()[i], block.addrs()[i], block.metas()[i]));
+        }
+        let mut got = Vec::new();
+        let hits = batched.access_batch_into(&block, &mut got);
+        assert_eq!(got, expect);
+        assert_eq!(hits, expect.iter().filter(|o| o.is_hit()).count() as u64);
+        assert_eq!(batched.stats().total_hits(), scalar.stats().total_hits());
+        assert_eq!(batched.time(), scalar.time());
+    }
+
+    #[test]
+    fn monomorphized_core_matches_boxed_compat_wrapper() {
+        // The same composition through the generic core and through the
+        // boxed alias must agree access for access.
+        let mut mono = EngineCore::new(
+            RandomCandidates::new(64, 8, 1),
+            crate::ranking_api::NaiveLru::new(),
+            crate::scheme_api::EvictMaxFutility,
+            2,
+        );
+        let mut boxed = small_cache(2);
+        let mut block = AccessBlock::new();
+        for i in 0..500u64 {
+            block.push(
+                PartitionId((i % 2) as u16),
+                (i * 37) % 90,
+                AccessMeta::default(),
+            );
+        }
+        let mono_hits = mono.access_batch(&block);
+        let mut expect = Vec::new();
+        boxed.access_batch_into(&block, &mut expect);
+        assert_eq!(
+            mono_hits,
+            expect.iter().filter(|o| o.is_hit()).count() as u64
+        );
+        assert_eq!(mono.stats().total_misses(), boxed.stats().total_misses());
+        assert_eq!(mono.state().actual, boxed.state().actual);
+        // And through the object-safe dispatch trait.
+        let mut dyn_eng: Box<dyn Engine> = Box::new(EngineCore::new(
+            RandomCandidates::new(64, 8, 1),
+            crate::ranking_api::NaiveLru::new(),
+            crate::scheme_api::EvictMaxFutility,
+            2,
+        ));
+        assert_eq!(dyn_eng.access_batch(&block), mono_hits);
+        assert_eq!(dyn_eng.stats().total_hits(), mono.stats().total_hits());
     }
 }

@@ -1,9 +1,20 @@
-//! A fast, non-cryptographic hasher for the simulator's hot hash maps
+//! Fast, non-cryptographic hashing for the simulator's hot hash maps
 //! (address → slot, address → rank key). The simulator performs several
 //! map operations per cache access, and the standard library's SipHash
 //! dominates the profile; this multiply-xor hasher (the rustc "Fx"
 //! construction) is ~5x cheaper and perfectly adequate for u64 line
 //! addresses. Not DoS-resistant — do not use for untrusted keys.
+//!
+//! The residency index deliberately stays `FxHashMap` (std's hashbrown
+//! with this hasher) rather than a hand-rolled open-addressing table:
+//! a prototype `u64 → u32` table with linear probing + backward-shift
+//! deletion — and a second version with hashbrown-style control bytes —
+//! both measured ~3x slower than hashbrown on the miss-path churn mix
+//! (missed get + remove + insert), because backward-shift deletion
+//! re-touches a chain of random bucket lines per delete while
+//! hashbrown's tombstone writes touch one. Explicit software prefetch
+//! of the probed slot range fared no better — see the note on
+//! `prefetch_lookup` in `array/set_assoc.rs` for that negative result.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};

@@ -45,9 +45,9 @@ pub mod stats;
 pub mod trace;
 pub mod umon;
 
-pub use engine::{AccessOutcome, Eviction, PartitionedCache};
+pub use engine::{AccessBlock, AccessOutcome, Engine, EngineCore, Eviction, PartitionedCache};
 pub use ids::{AccessMeta, Occupant, PartitionId, SlotId, NO_NEXT_USE};
-pub use ranking_api::FutilityRanking;
+pub use ranking_api::{FutilityRanking, HitRecord, HitRunAgg};
 pub use recorder::{RecordCtx, Recorder, Sample, TimeSeriesRecorder};
 pub use scheme_api::{Candidate, PartitionScheme, PartitionState, Probe, VictimDecision};
 pub use stats::CacheStats;

@@ -11,9 +11,95 @@
 //! trait plus a minimal exact-LRU used by doc examples and smoke tests.
 
 use crate::fxmap::FxHashMap;
-use crate::ids::{AccessMeta, PartitionId};
+use crate::ids::{AccessMeta, PartitionId, SlotId};
 use crate::ostree::{OsTreap, RankQuery};
 use crate::scheme_api::Candidate;
+
+/// One resident-line hit, as queued by the engine's batched access
+/// pipeline for a deferred bulk [`FutilityRanking::on_hit_batch`] call.
+/// `time` is the engine time at which the hit occurred (already
+/// advanced past earlier accesses of the same batch).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HitRecord {
+    /// Pool the line belongs to (after any foreign-hit retag).
+    pub part: PartitionId,
+    /// Line address.
+    pub addr: u64,
+    /// Slot the line occupies. A run contains no evictions, installs or
+    /// retags, so the slot ↔ address ↔ pool binding is stable across
+    /// the whole run — which is what lets [`HitRunAgg`] use the slot as
+    /// a dense dedup index.
+    pub slot: SlotId,
+    /// Engine time of the hit.
+    pub time: u64,
+    /// Per-access metadata (next-use for OPT).
+    pub meta: AccessMeta,
+}
+
+/// Per-slot aggregation scratch for [`FutilityRanking::on_hit_batch`]
+/// overrides: collapses a hit run to one callback per *distinct line*.
+///
+/// Within a run the slot ↔ address binding is fixed (see
+/// [`HitRecord::slot`]), so slots index a dense epoch-stamped table —
+/// no hashing, no clearing between runs, and no allocation once the
+/// tables have grown to the array's slot count.
+///
+/// Rankings whose per-hit update is a treap upsert use this to skip the
+/// intermediate upserts of re-hit lines: an [`OsTreap`]'s observable
+/// behaviour is a function of its current key set alone, so applying
+/// only the *final* key per line yields the same ranking state as
+/// replaying every intermediate key — while doing the expensive
+/// `remove + insert` once per distinct line instead of once per hit.
+#[derive(Debug, Default)]
+pub struct HitRunAgg {
+    /// `stamp[slot] == epoch` iff the slot was seen this run.
+    stamp: Vec<u64>,
+    /// Hits of this run landing on the slot (valid when stamped).
+    count: Vec<u32>,
+    /// Index into the run of the slot's last record (valid when stamped).
+    last: Vec<u32>,
+    /// Distinct slots of this run, in first-appearance order.
+    touched: Vec<SlotId>,
+    epoch: u64,
+}
+
+impl HitRunAgg {
+    /// An empty scratch; tables grow on first use.
+    pub fn new() -> Self {
+        HitRunAgg::default()
+    }
+
+    /// Invoke `f(last_record, hits_on_that_line)` once per distinct slot
+    /// in `hits`, in first-appearance order. `last_record` is the run's
+    /// final record for that slot and `hits_on_that_line` how many of
+    /// the run's records landed on it.
+    pub fn for_each_line(&mut self, hits: &[HitRecord], mut f: impl FnMut(&HitRecord, u32)) {
+        self.epoch += 1;
+        self.touched.clear();
+        for (i, h) in hits.iter().enumerate() {
+            let s = h.slot as usize;
+            if s >= self.stamp.len() {
+                // Settles at the array's slot count: allocation-free
+                // once the cache has been warmed.
+                self.stamp.resize(s + 1, 0);
+                self.count.resize(s + 1, 0);
+                self.last.resize(s + 1, 0);
+            }
+            if self.stamp[s] == self.epoch {
+                self.count[s] += 1;
+            } else {
+                self.stamp[s] = self.epoch;
+                self.count[s] = 1;
+                self.touched.push(h.slot);
+            }
+            self.last[s] = i as u32;
+        }
+        for &slot in &self.touched {
+            let s = slot as usize;
+            f(&hits[self.last[s] as usize], self.count[s]);
+        }
+    }
+}
 
 /// Per-partition futility bookkeeping driven by the simulation engine.
 ///
@@ -32,6 +118,28 @@ pub trait FutilityRanking: Send {
 
     /// Line `addr` in `part` was hit at engine time `time`.
     fn on_hit(&mut self, part: PartitionId, addr: u64, time: u64, meta: AccessMeta);
+
+    /// Apply a run of hits in one call. Must be observably identical to
+    /// calling [`on_hit`](Self::on_hit) once per record *in order* —
+    /// the default does exactly that. The engine's batched pipeline
+    /// accumulates consecutive simple hits and flushes them here before
+    /// anything that could depend on ranking state (a miss, a foreign
+    /// hit, the end of the batch), so rankings may override this to
+    /// amortize per-call overhead across the run.
+    fn on_hit_batch(&mut self, hits: &[HitRecord]) {
+        for h in hits {
+            self.on_hit(h.part, h.addr, h.time, h.meta);
+        }
+    }
+
+    /// Whether hits change any state of this ranking. Rankings whose
+    /// [`on_hit`](Self::on_hit) is a no-op (stable random ranks)
+    /// return `false`, letting the engine's batched pipeline skip
+    /// collecting [`HitRecord`]s altogether. Must be constant for the
+    /// lifetime of the ranking.
+    fn wants_hit_records(&self) -> bool {
+        true
+    }
 
     /// Line `addr` was evicted from `part`.
     fn on_evict(&mut self, part: PartitionId, addr: u64);
@@ -86,6 +194,55 @@ pub trait FutilityRanking: Send {
     fn pool_len(&self, part: PartitionId) -> usize;
 }
 
+/// Boxed rankings forward every method (including overridden defaults),
+/// so a generic [`EngineCore`](crate::engine::EngineCore) instantiated
+/// with `Box<dyn FutilityRanking>` behaves exactly like one
+/// instantiated with the concrete ranking.
+impl<T: FutilityRanking + ?Sized> FutilityRanking for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn reset(&mut self, pools: usize) {
+        (**self).reset(pools)
+    }
+    fn on_insert(&mut self, part: PartitionId, addr: u64, time: u64, meta: AccessMeta) {
+        (**self).on_insert(part, addr, time, meta)
+    }
+    fn on_hit(&mut self, part: PartitionId, addr: u64, time: u64, meta: AccessMeta) {
+        (**self).on_hit(part, addr, time, meta)
+    }
+    fn on_hit_batch(&mut self, hits: &[HitRecord]) {
+        (**self).on_hit_batch(hits)
+    }
+    fn wants_hit_records(&self) -> bool {
+        (**self).wants_hit_records()
+    }
+    fn on_evict(&mut self, part: PartitionId, addr: u64) {
+        (**self).on_evict(part, addr)
+    }
+    fn on_retag(&mut self, from: PartitionId, to: PartitionId, addr: u64) {
+        (**self).on_retag(from, to, addr)
+    }
+    fn futility(&self, part: PartitionId, addr: u64) -> f64 {
+        (**self).futility(part, addr)
+    }
+    fn futility_batch(&mut self, cands: &mut [Candidate]) {
+        (**self).futility_batch(cands)
+    }
+    fn futility_is_exact(&self) -> bool {
+        (**self).futility_is_exact()
+    }
+    fn true_futility(&self, part: PartitionId, addr: u64) -> f64 {
+        (**self).true_futility(part, addr)
+    }
+    fn max_futility_line(&self, part: PartitionId) -> Option<u64> {
+        (**self).max_futility_line(part)
+    }
+    fn pool_len(&self, part: PartitionId) -> usize {
+        (**self).pool_len(part)
+    }
+}
+
 /// Minimal exact-LRU ranking built directly on [`OsTreap`]; used by doc
 /// examples and as a reference model in tests. The `ranking` crate's
 /// `ExactLru` is the full-featured equivalent.
@@ -93,6 +250,7 @@ pub trait FutilityRanking: Send {
 pub struct NaiveLru {
     pools: Vec<Pool>,
     scratch: Vec<RankQuery<(u64, u64)>>,
+    agg: HitRunAgg,
 }
 
 #[derive(Debug)]
@@ -148,6 +306,23 @@ impl FutilityRanking for NaiveLru {
             pool.by_time.remove(&(old, addr));
         }
         pool.by_time.insert((time, addr));
+    }
+
+    fn on_hit_batch(&mut self, hits: &[HitRecord]) {
+        // The treap's observable state is a function of its key set, so
+        // only each line's final time matters: re-hit lines pay one
+        // remove + insert instead of one per hit.
+        if let Some(max) = hits.iter().map(|h| h.part.index()).max() {
+            self.pool_mut(PartitionId(max as u16));
+        }
+        let NaiveLru { pools, agg, .. } = self;
+        agg.for_each_line(hits, |h, _| {
+            let pool = &mut pools[h.part.index()];
+            if let Some(old) = pool.last.insert(h.addr, h.time) {
+                pool.by_time.remove(&(old, h.addr));
+            }
+            pool.by_time.insert((h.time, h.addr));
+        });
     }
 
     fn on_evict(&mut self, part: PartitionId, addr: u64) {
@@ -285,6 +460,60 @@ mod tests {
         r.on_evict(P, 10);
         assert_eq!(r.pool_len(P), 0);
         assert_eq!(r.futility(P, 10), 0.0);
+    }
+
+    #[test]
+    fn hit_run_agg_collapses_to_last_record_per_slot() {
+        let mut agg = HitRunAgg::new();
+        let rec = |slot: SlotId, time: u64| HitRecord {
+            part: P,
+            addr: 100 + slot as u64,
+            slot,
+            time,
+            meta: AccessMeta::default(),
+        };
+        let hits = [rec(3, 1), rec(7, 2), rec(3, 3), rec(3, 4), rec(1, 5)];
+        let mut seen = Vec::new();
+        agg.for_each_line(&hits, |h, n| seen.push((h.slot, h.time, n)));
+        assert_eq!(seen, vec![(3, 4, 3), (7, 2, 1), (1, 5, 1)]);
+        // Epoch stamping: the next run must not see stale counts.
+        let hits2 = [rec(3, 9)];
+        seen.clear();
+        agg.for_each_line(&hits2, |h, n| seen.push((h.slot, h.time, n)));
+        assert_eq!(seen, vec![(3, 9, 1)]);
+    }
+
+    #[test]
+    fn naive_lru_hit_batch_matches_scalar_replay() {
+        let mut scalar = NaiveLru::new();
+        let mut batched = NaiveLru::new();
+        scalar.reset(2);
+        batched.reset(2);
+        let mut hits = Vec::new();
+        for (slot, t) in [(0u32, 10u64), (1, 11), (0, 12), (2, 13), (0, 14)] {
+            let part = PartitionId((slot % 2) as u16);
+            let addr = 50 + slot as u64;
+            scalar.on_insert(part, addr, 1, AccessMeta::default());
+            batched.on_insert(part, addr, 1, AccessMeta::default());
+            hits.push(HitRecord {
+                part,
+                addr,
+                slot,
+                time: t,
+                meta: AccessMeta::default(),
+            });
+        }
+        for h in &hits {
+            scalar.on_hit(h.part, h.addr, h.time, h.meta);
+        }
+        batched.on_hit_batch(&hits);
+        for h in &hits {
+            assert_eq!(
+                scalar.futility(h.part, h.addr),
+                batched.futility(h.part, h.addr)
+            );
+        }
+        assert_eq!(scalar.max_futility_line(P), batched.max_futility_line(P));
     }
 
     #[test]

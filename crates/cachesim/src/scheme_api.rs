@@ -251,6 +251,71 @@ pub trait PartitionScheme: Send {
     fn telemetry(&self, _state: &PartitionState, _out: &mut Vec<Probe>) {}
 }
 
+/// Boxed schemes forward every method (including overridden defaults),
+/// so a generic [`EngineCore`](crate::engine::EngineCore) instantiated
+/// with `Box<dyn PartitionScheme>` behaves exactly like one
+/// instantiated with the concrete scheme.
+impl<T: PartitionScheme + ?Sized> PartitionScheme for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn extra_pools(&self) -> usize {
+        (**self).extra_pools()
+    }
+    fn configure(&mut self, state: &PartitionState) {
+        (**self).configure(state)
+    }
+    fn victim(
+        &mut self,
+        incoming: PartitionId,
+        cands: &[Candidate],
+        state: &PartitionState,
+    ) -> VictimDecision {
+        (**self).victim(incoming, cands, state)
+    }
+    fn victim_into(
+        &mut self,
+        incoming: PartitionId,
+        cands: &[Candidate],
+        state: &PartitionState,
+        out: &mut VictimDecision,
+    ) {
+        (**self).victim_into(incoming, cands, state, out)
+    }
+    fn victim_partition_fully_assoc(
+        &mut self,
+        incoming: PartitionId,
+        state: &PartitionState,
+    ) -> PartitionId {
+        (**self).victim_partition_fully_assoc(incoming, state)
+    }
+    fn notify_insert(&mut self, part: PartitionId, state: &PartitionState) {
+        (**self).notify_insert(part, state)
+    }
+    fn notify_evict(&mut self, part: PartitionId, state: &PartitionState) {
+        (**self).notify_evict(part, state)
+    }
+    fn notify_hit(&mut self, part: PartitionId) {
+        (**self).notify_hit(part)
+    }
+    fn insertion_pool(&self, incoming: PartitionId) -> PartitionId {
+        (**self).insertion_pool(incoming)
+    }
+    fn on_foreign_hit(
+        &mut self,
+        line_pool: PartitionId,
+        accessor: PartitionId,
+    ) -> Option<PartitionId> {
+        (**self).on_foreign_hit(line_pool, accessor)
+    }
+    fn wants_exact_ranking(&self) -> bool {
+        (**self).wants_exact_ranking()
+    }
+    fn telemetry(&self, state: &PartitionState, out: &mut Vec<Probe>) {
+        (**self).telemetry(state, out)
+    }
+}
+
 /// The unpartitioned replacement policy: evict the candidate with the
 /// largest futility, ignoring partitions entirely.
 #[derive(Copy, Clone, Debug, Default)]

@@ -15,7 +15,7 @@
 
 use crate::pool::TreapPool;
 use cachesim::fxmap::FxHashMap;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
+use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId};
 
 /// Number of timestamp buckets per partition "generation" (`K = size/16`).
 const BUCKETS_PER_SIZE: u64 = 16;
@@ -68,6 +68,7 @@ pub struct CoarseLru {
     exact_shadow: bool,
     /// Only pools below this index carry the exact shadow.
     shadow_limit: usize,
+    agg: HitRunAgg,
 }
 
 impl CoarseLru {
@@ -78,6 +79,7 @@ impl CoarseLru {
             pools: Vec::new(),
             exact_shadow: true,
             shadow_limit: usize::MAX,
+            agg: HitRunAgg::new(),
         }
     }
 
@@ -89,6 +91,7 @@ impl CoarseLru {
             pools: Vec::new(),
             exact_shadow: true,
             shadow_limit: k,
+            agg: HitRunAgg::new(),
         }
     }
 
@@ -99,6 +102,7 @@ impl CoarseLru {
             pools: Vec::new(),
             exact_shadow: false,
             shadow_limit: 0,
+            agg: HitRunAgg::new(),
         }
     }
 
@@ -148,6 +152,29 @@ impl FutilityRanking for CoarseLru {
 
     fn on_hit(&mut self, part: PartitionId, addr: u64, time: u64, _meta: AccessMeta) {
         self.pool_mut(part).touch(addr, time);
+    }
+
+    fn on_hit_batch(&mut self, hits: &[HitRecord]) {
+        if let Some(max) = hits.iter().map(|h| h.part.index()).max() {
+            self.pool_mut(PartitionId(max as u16));
+        }
+        let CoarseLru { pools, agg, .. } = self;
+        // The 8-bit timestamp tag + tick half is replicated per record,
+        // exactly as the scalar path: `current_ts` can bump mid-run and
+        // the tag must capture it at hit time.
+        for h in hits {
+            let pool = &mut pools[h.part.index()];
+            pool.tags.insert(h.addr, pool.current_ts);
+            pool.tick();
+        }
+        // The exact measurement shadow is a canonical treap keyed by
+        // last-access time: one upsert per distinct line suffices, and
+        // shadow state is independent of the tag/timestamp half.
+        agg.for_each_line(hits, |h, _| {
+            if let Some(s) = &mut pools[h.part.index()].shadow {
+                s.upsert(h.addr, h.time);
+            }
+        });
     }
 
     fn on_evict(&mut self, part: PartitionId, addr: u64) {

@@ -2,7 +2,7 @@
 
 use crate::pool::{batch_over_pools, TreapPool};
 use cachesim::ostree::RankQuery;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
+use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId};
 
 /// Exact LRU: lines are ranked by last-access time; the least recently
 /// used line of a partition has futility 1.
@@ -10,6 +10,7 @@ use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
 pub struct ExactLru {
     pools: Vec<TreapPool<false>>,
     scratch: Vec<RankQuery<(u64, u64)>>,
+    agg: HitRunAgg,
 }
 
 impl ExactLru {
@@ -46,6 +47,17 @@ impl FutilityRanking for ExactLru {
 
     fn on_hit(&mut self, part: PartitionId, addr: u64, time: u64, _meta: AccessMeta) {
         self.pool_mut(part).upsert(addr, time);
+    }
+
+    fn on_hit_batch(&mut self, hits: &[HitRecord]) {
+        // The treap's observable state is a function of its key set, so
+        // only each line's final last-access time matters: a line hit k
+        // times in the run pays one remove + insert instead of k.
+        if let Some(max) = hits.iter().map(|h| h.part.index()).max() {
+            self.pool_mut(PartitionId(max as u16));
+        }
+        let ExactLru { pools, agg, .. } = self;
+        agg.for_each_line(hits, |h, _| pools[h.part.index()].upsert(h.addr, h.time));
     }
 
     fn on_evict(&mut self, part: PartitionId, addr: u64) {

@@ -5,7 +5,7 @@
 use crate::pool::{batch_over_pools, TreapPool};
 use cachesim::fxmap::FxHashMap;
 use cachesim::ostree::RankQuery;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
+use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId};
 
 /// Bits of the composite key reserved for the recency tiebreak.
 const TIME_BITS: u32 = 44;
@@ -20,6 +20,7 @@ pub struct Lfu {
     pools: Vec<TreapPool<false>>,
     counts: Vec<FxHashMap<u64, u64>>,
     scratch: Vec<RankQuery<(u64, u64)>>,
+    agg: HitRunAgg,
 }
 
 impl Lfu {
@@ -73,6 +74,27 @@ impl FutilityRanking for Lfu {
             .or_insert(1);
         let key = Self::key(*count, time);
         self.pools[part.index()].upsert(addr, key);
+    }
+
+    fn on_hit_batch(&mut self, hits: &[HitRecord]) {
+        // A line hit k times in the run ends with count += k and the
+        // key built from its final count and last hit time; every
+        // intermediate treap upsert is overwritten, so the count map
+        // is bumped once and the treap updated once per distinct line.
+        if let Some(max) = hits.iter().map(|h| h.part.index()).max() {
+            self.ensure(max);
+        }
+        let Lfu {
+            pools, counts, agg, ..
+        } = self;
+        agg.for_each_line(hits, |h, n| {
+            let idx = h.part.index();
+            let count = counts[idx]
+                .entry(h.addr)
+                .and_modify(|c| *c += n as u64)
+                .or_insert(n as u64);
+            pools[idx].upsert(h.addr, Self::key(*count, h.time));
+        });
     }
 
     fn on_evict(&mut self, part: PartitionId, addr: u64) {

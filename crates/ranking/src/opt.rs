@@ -7,7 +7,7 @@
 
 use crate::pool::{batch_over_pools, TreapPool};
 use cachesim::ostree::RankQuery;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
+use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId};
 
 /// OPT (Belady) ranking. Requires accesses annotated with `next_use`
 /// metadata (see [`Trace::annotate_next_use`](cachesim::trace::Trace::annotate_next_use));
@@ -17,6 +17,7 @@ use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
 pub struct Opt {
     pools: Vec<TreapPool<true>>,
     scratch: Vec<RankQuery<(u64, u64)>>,
+    agg: HitRunAgg,
 }
 
 impl Opt {
@@ -53,6 +54,19 @@ impl FutilityRanking for Opt {
 
     fn on_hit(&mut self, part: PartitionId, addr: u64, _time: u64, meta: AccessMeta) {
         self.pool_mut(part).upsert(addr, meta.next_use);
+    }
+
+    fn on_hit_batch(&mut self, hits: &[HitRecord]) {
+        // Only each line's final next-use annotation determines the
+        // treap's key set; intermediate upserts of re-hit lines are
+        // overwritten and can be skipped.
+        if let Some(max) = hits.iter().map(|h| h.part.index()).max() {
+            self.pool_mut(PartitionId(max as u16));
+        }
+        let Opt { pools, agg, .. } = self;
+        agg.for_each_line(hits, |h, _| {
+            pools[h.part.index()].upsert(h.addr, h.meta.next_use)
+        });
     }
 
     fn on_evict(&mut self, part: PartitionId, addr: u64) {

@@ -9,7 +9,7 @@
 use crate::pool::{batch_over_pools, TreapPool};
 use cachesim::hashing::{IndexHash, LineHash};
 use cachesim::ostree::RankQuery;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
+use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, PartitionId};
 
 /// Random ranking with a deterministic per-line hash.
 #[derive(Debug)]
@@ -61,6 +61,14 @@ impl FutilityRanking for RandomRanking {
 
     fn on_hit(&mut self, _part: PartitionId, _addr: u64, _time: u64, _meta: AccessMeta) {
         // Ranks are stable: hits do not change them.
+    }
+
+    fn on_hit_batch(&mut self, _hits: &[HitRecord]) {
+        // Ranks are stable: a whole run of hits changes nothing.
+    }
+
+    fn wants_hit_records(&self) -> bool {
+        false
     }
 
     fn on_evict(&mut self, part: PartitionId, addr: u64) {

@@ -11,7 +11,7 @@
 
 use crate::pool::TreapPool;
 use cachesim::fxmap::FxHashMap;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, PartitionId};
+use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId};
 
 /// Maximum RRPV for the default 2-bit configuration.
 const MAX_RRPV: u32 = 3;
@@ -57,12 +57,13 @@ impl RripPool {
 #[derive(Debug, Default)]
 pub struct Rrip {
     pools: Vec<RripPool>,
+    agg: HitRunAgg,
 }
 
 impl Rrip {
     /// Create an empty ranking (pools sized on `reset`).
     pub fn new() -> Self {
-        Rrip { pools: Vec::new() }
+        Rrip::default()
     }
 
     fn pool_mut(&mut self, part: PartitionId) -> &mut RripPool {
@@ -108,6 +109,29 @@ impl FutilityRanking for Rrip {
         pool.tags.insert(addr, (0, gen));
         pool.shadow.upsert(addr, time);
         pool.tick();
+    }
+
+    fn on_hit_batch(&mut self, hits: &[HitRecord]) {
+        if let Some(max) = hits.iter().map(|h| h.part.index()).max() {
+            self.pool_mut(PartitionId(max as u16));
+        }
+        let Rrip { pools, agg } = self;
+        // The cheap tag + tick half is replicated per record, exactly
+        // as the scalar path: `generation` can advance mid-run and the
+        // tag must capture it at hit time.
+        for h in hits {
+            let pool = &mut pools[h.part.index()];
+            let gen = pool.generation;
+            pool.tags.insert(h.addr, (0, gen));
+            pool.tick();
+        }
+        // The measurement shadow is a canonical treap keyed by
+        // last-access time: only each line's final hit time matters,
+        // and shadow state is independent of tags/generation, so the
+        // deduplicated upserts commute with the loop above.
+        agg.for_each_line(hits, |h, _| {
+            pools[h.part.index()].shadow.upsert(h.addr, h.time)
+        });
     }
 
     fn on_evict(&mut self, part: PartitionId, addr: u64) {

@@ -122,6 +122,62 @@ fn warm_cache_access_never_allocates() {
     );
 }
 
+/// The batched pipeline must be as allocation-free as the scalar path
+/// once warm: the deferred hit-run buffer and the candidate scratch
+/// reach their high-water marks during warmup and are reused from then
+/// on. Checked on the monomorphized cores (`fs_bench::engine_for`), the
+/// same engines the throughput bench times.
+#[test]
+fn warm_batched_access_never_allocates() {
+    let wl = workload();
+    let metas: Vec<AccessMeta> =
+        wl.2.iter()
+            .copied()
+            .map(AccessMeta::with_next_use)
+            .collect();
+    let parts: Vec<PartitionId> = wl.0.iter().copied().map(PartitionId).collect();
+    let rankings = ["lru", "coarse-lru", "lfu", "random", "rrip", "opt"];
+    let schemes = [
+        "unpartitioned",
+        "pf",
+        "cqvp",
+        "fs-feedback",
+        "vantage",
+        "prism",
+    ];
+    let mut failures = Vec::new();
+    for ranking in rankings {
+        for scheme in schemes {
+            let mut cache = fs_bench::engine_for("set-assoc", ranking, scheme, LINES, 7, PARTS);
+            cache.stats_mut().sample_deviation = false;
+            // Same two-consecutive-clean-passes protocol as the scalar
+            // test; each pass feeds the whole trace as one block, the
+            // worst case for the deferred hit-run buffer.
+            let mut consecutive_clean = 0;
+            for _ in 0..10 {
+                let before = ALLOCS.load(Ordering::Relaxed);
+                cache.access_batch_slices(&parts, &wl.1, &metas);
+                if ALLOCS.load(Ordering::Relaxed) == before {
+                    consecutive_clean += 1;
+                    if consecutive_clean == 2 {
+                        break;
+                    }
+                } else {
+                    consecutive_clean = 0;
+                }
+            }
+            if consecutive_clean < 2 {
+                failures.push(format!("{ranking}/{scheme}: never reached steady state"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "warm batched hot path allocated:\n{}",
+        failures.join("\n")
+    );
+}
+
 #[test]
 fn stats_construction_is_cheap_and_histogram_lazy() {
     // Constructing stats for many partitions must be O(partitions)
