@@ -44,4 +44,35 @@ echo "== trace_dynamics --smoke =="
 # (recorder, scheme telemetry, CSV emission, ASCII rendering).
 cargo run --release --offline -q -p fs-bench --bin trace_dynamics -- --smoke
 
+echo "== checkpoint/resume replay gate (fig5 --smoke) =="
+# Byte-identical replay proof at the binary level. Three runs of the
+# same experiment in a scratch directory:
+#   1. golden        — uninterrupted;
+#   2. checkpointed  — --checkpoint-every: chunked with snapshots after
+#                      every chunk, must be a pure observer;
+#   3. interrupted   — stopped mid-run (--stop-after), then resumed from
+#                      its checkpoint files, must land on the same CSVs.
+# Both the figure CSV and the flight-recorder time series are compared
+# byte for byte against the golden run.
+CKPT_TMP=$(mktemp -d)
+trap 'rm -rf "$CKPT_TMP"' EXIT
+FIG5="$PWD/target/release/fig5"
+(
+    cd "$CKPT_TMP"
+    "$FIG5" --smoke >/dev/null
+    cp results/fig5_size_deviation.csv golden.csv
+    cp results/fig5_size_deviation_timeseries.csv golden_ts.csv
+
+    "$FIG5" --smoke --checkpoint-every 500 >/dev/null
+    cmp results/fig5_size_deviation.csv golden.csv
+    cmp results/fig5_size_deviation_timeseries.csv golden_ts.csv
+
+    rm -rf results/checkpoints
+    "$FIG5" --smoke --checkpoint-every 500 --stop-after 1000 >/dev/null
+    mv results/checkpoints interrupted
+    "$FIG5" --smoke --resume interrupted >/dev/null
+    cmp results/fig5_size_deviation.csv golden.csv
+    cmp results/fig5_size_deviation_timeseries.csv golden_ts.csv
+)
+
 echo "CI OK"

@@ -15,7 +15,10 @@
 //! paper measures (>70% abnormality, 10–21% under target).
 
 use cachesim::prng::Prng;
-use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, Probe, VictimDecision};
+use cachesim::{
+    Candidate, PartitionId, PartitionScheme, PartitionState, Probe, SnapshotError, SnapshotReader,
+    SnapshotWriter, VictimDecision,
+};
 
 /// PriSM controller.
 #[derive(Clone, Debug)]
@@ -177,6 +180,71 @@ impl PartitionScheme for Prism {
             out.push(Probe::per_part("evict_prob", PartitionId(i as u16), p));
         }
         out.push(Probe::global("abnormality_rate", self.abnormality_rate()));
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("prism");
+        w.u64(self.window);
+        w.usize(self.evict_prob.len());
+        for &p in &self.evict_prob {
+            w.f64(p);
+        }
+        w.usize(self.window_insertions.len());
+        for &i in &self.window_insertions {
+            w.u64(i);
+        }
+        w.u64(self.window_misses);
+        w.u64(self.abnormalities);
+        w.u64(self.selections);
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("prism")?;
+        let window = r.u64()?;
+        if window != self.window {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot PriSM window is {window}, engine uses {}",
+                self.window
+            )));
+        }
+        let n = r.seq_len(8)?;
+        if n != self.evict_prob.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot tracks {n} pools, engine has {}",
+                self.evict_prob.len()
+            )));
+        }
+        for p in &mut self.evict_prob {
+            *p = r.f64()?;
+        }
+        let n = r.seq_len(8)?;
+        if n != self.window_insertions.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot tracks {n} pools, engine has {}",
+                self.window_insertions.len()
+            )));
+        }
+        for i in &mut self.window_insertions {
+            *i = r.u64()?;
+        }
+        self.window_misses = r.u64()?;
+        if self.window_misses >= self.window {
+            return Err(SnapshotError::corrupt(
+                "window miss counter at or beyond the window length",
+            ));
+        }
+        self.abnormalities = r.u64()?;
+        self.selections = r.u64()?;
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = r.u64()?;
+        }
+        self.rng = Prng::from_state(rng_state);
+        r.end()
     }
 }
 

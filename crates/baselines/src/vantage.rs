@@ -21,7 +21,10 @@
 //! * A hit on an unmanaged line promotes it back to the accessor's
 //!   partition.
 
-use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, Probe, VictimDecision};
+use cachesim::{
+    Candidate, PartitionId, PartitionScheme, PartitionState, Probe, SnapshotError, SnapshotReader,
+    SnapshotWriter, VictimDecision,
+};
 
 /// Vantage tuning parameters (defaults are the FS paper's: `u = 10%`,
 /// `Amax = 0.5`, `slack = 0.1`).
@@ -274,6 +277,60 @@ impl PartitionScheme for Vantage {
             "unmanaged_occupancy",
             state.actual[self.unmanaged_pool.index()] as f64,
         ));
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("vantage");
+        w.f64(self.config.unmanaged_fraction);
+        w.f64(self.config.max_aperture);
+        w.f64(self.config.slack);
+        w.u16(self.unmanaged_pool.0);
+        w.u64(self.forced_evictions);
+        w.u64(self.selections);
+        w.u64(self.demotions);
+        w.usize(self.fmax.len());
+        for &f in &self.fmax {
+            w.f64(f);
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("vantage")?;
+        let u = r.f64()?;
+        let amax = r.f64()?;
+        let slack = r.f64()?;
+        if u.to_bits() != self.config.unmanaged_fraction.to_bits()
+            || amax.to_bits() != self.config.max_aperture.to_bits()
+            || slack.to_bits() != self.config.slack.to_bits()
+        {
+            return Err(SnapshotError::mismatch(
+                "snapshot Vantage config differs from the engine's",
+            ));
+        }
+        let pool = r.u16()?;
+        if pool != self.unmanaged_pool.0 {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot unmanaged pool is {pool}, engine uses {}",
+                self.unmanaged_pool.0
+            )));
+        }
+        self.forced_evictions = r.u64()?;
+        self.selections = r.u64()?;
+        self.demotions = r.u64()?;
+        let n = r.seq_len(8)?;
+        if n != self.fmax.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot calibrates {n} pools, engine has {}",
+                self.fmax.len()
+            )));
+        }
+        for f in &mut self.fmax {
+            *f = r.f64()?;
+        }
+        // Per-selection scratch, never live between accesses.
+        self.in_unmanaged.clear();
+        r.end()
     }
 }
 

@@ -10,7 +10,10 @@
 //! (cachesim::array::SetAssociative) array whose slot layout is
 //! `set * ways + way`.
 
-use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, VictimDecision};
+use cachesim::{
+    Candidate, PartitionId, PartitionScheme, PartitionState, SnapshotError, SnapshotReader,
+    SnapshotWriter, VictimDecision,
+};
 
 /// Way-partitioned placement scheme for a W-way set-associative cache.
 #[derive(Clone, Debug)]
@@ -142,6 +145,32 @@ impl PartitionScheme for WayPartitioned {
         }
         // A partition always owns at least one way of every set.
         VictimDecision::evict(best.expect("own way present in every set"))
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("way-partition");
+        w.usize(self.ways);
+        for &o in &self.owner {
+            w.u16(o);
+        }
+        w.u64(self.reassignments);
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("way-partition")?;
+        let ways = r.usize()?;
+        if ways != self.ways {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot partitions {ways} ways, engine has {}",
+                self.ways
+            )));
+        }
+        for o in &mut self.owner {
+            *o = r.u16()?;
+        }
+        self.reassignments = r.u64()?;
+        r.end()
     }
 }
 

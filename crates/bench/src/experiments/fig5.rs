@@ -9,6 +9,7 @@
 //! lines ≈ 0.4% of a 16K-line partition. MAD(I1=0.1) < MAD(I1=0.5).
 
 use super::{concat_rows, Experiment, Point};
+use crate::checkpoint::Checkpointing;
 use crate::runner::{JobOutput, JobResult, Row};
 use crate::Scale;
 use analysis::Table;
@@ -35,20 +36,35 @@ pub static FIG5: Experiment = Experiment {
 fn points(scale: Scale) -> Vec<Point> {
     let lines = scale.lines(crate::lines_of_kb(2048));
     let insertions = scale.accesses(150_000) as u64;
+    // `--horizon N` extends the measured window (the synthetic traces
+    // are prefix-stable in their seed, so a checkpoint taken at the
+    // default horizon resumes into the longer one); the recorder
+    // cadence stays pinned to the scale's default so the images remain
+    // compatible.
+    let horizon = crate::checkpoint::horizon_override()
+        .unwrap_or(insertions)
+        .max(insertions);
     CONFIGS
         .iter()
         .map(|&(scheme, i1)| Point {
             label: format!("{scheme}(I1={i1})"),
-            run: Box::new(move |seed| run_one(scheme, i1, lines, insertions, seed)),
+            run: Box::new(move |seed| run_one(scheme, i1, lines, insertions, horizon, seed)),
         })
         .collect()
 }
 
-fn run_one(scheme_name: &str, i1: f64, lines: usize, insertions: u64, seed: u64) -> JobOutput {
+fn run_one(
+    scheme_name: &str,
+    i1: f64,
+    lines: usize,
+    insertions: u64,
+    horizon: u64,
+    seed: u64,
+) -> JobOutput {
     let mut sm = SplitMix64::new(seed);
     let mcf = benchmark("mcf").unwrap();
     let warmup = (lines * 22) as u64;
-    let trace_len = ((warmup + insertions) as usize) * 5;
+    let trace_len = ((warmup + horizon) as usize) * 5;
     let traces = vec![
         mcf.generate_with_base(trace_len, sm.next_u64(), 0),
         mcf.generate_with_base(trace_len, sm.next_u64(), 1 << 40),
@@ -69,15 +85,25 @@ fn run_one(scheme_name: &str, i1: f64, lines: usize, insertions: u64, seed: u64)
     cache.set_targets(&[lines / 2, lines / 2]);
     cache.stats_mut().deviation_histogram = true;
 
-    let mut driver = RateControlledDriver::new(traces, vec![i1, 1.0 - i1], sm.next_u64());
-    driver.run(&mut cache, warmup);
-    cache.stats_mut().reset();
-    // Record the measurement window: the deviation walk this figure
-    // summarizes as a CDF becomes visible in fig5_*_timeseries.csv.
-    cache.attach_timeseries((insertions / 64).max(1), 1 << 15);
-    driver.run(&mut cache, insertions);
-
     let label = format!("{scheme_name}(I1={i1})");
+    let mut driver = RateControlledDriver::new(traces, vec![i1, 1.0 - i1], sm.next_u64());
+    let cp = Checkpointing::from_args();
+    let done = if cp.resuming() {
+        // A checkpoint image includes the measurement recorder, so the
+        // resume path attaches one (same cadence/capacity) before
+        // restoring; warmup is skipped — the image carries its effects.
+        cache.attach_timeseries((insertions / 64).max(1), 1 << 15);
+        cp.try_resume("fig5", &label, &mut driver, &mut cache)
+    } else {
+        driver.run(&mut cache, warmup);
+        cache.stats_mut().reset();
+        // Record the measurement window: the deviation walk this figure
+        // summarizes as a CDF becomes visible in fig5_*_timeseries.csv.
+        cache.attach_timeseries((insertions / 64).max(1), 1 << 15);
+        0
+    };
+    cp.run("fig5", &label, &mut driver, &mut cache, done, horizon);
+
     let stats = cache.stats();
     let p0 = stats.partition(PartitionId(0));
     let cdf = p0.size_deviation_cdf();

@@ -16,6 +16,7 @@ use futility_core::{FeedbackConfig, FsFeedback};
 use ranking::{CoarseLru, ExactLru, Lfu, Opt, RandomRanking, Rrip};
 use std::path::{Path, PathBuf};
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod runner;
 pub mod timing;

@@ -7,9 +7,10 @@
 //! Used for the paper's *FullAssoc* ideal scheme and the
 //! fully-associative side of Figure 6.
 
-use super::{CacheArray, SlotTable};
+use super::{read_free_list, CacheArray, SlotTable};
 use crate::ids::{Occupant, PartitionId, SlotId};
 use crate::scheme_api::Candidate;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// A fully-associative cache of `num_lines` lines.
 pub struct FullyAssociative {
@@ -93,6 +94,25 @@ impl CacheArray for FullyAssociative {
 
     fn occupied(&self) -> usize {
         self.table.occupied()
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("fully-assoc");
+        self.table.save_state(w);
+        w.usize(self.free.len());
+        for &f in &self.free {
+            w.u32(f);
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("fully-assoc")?;
+        self.table.load_state(r)?;
+        let free = read_free_list(r, &self.table)?;
+        r.end()?;
+        self.free = free;
+        Ok(())
     }
 }
 

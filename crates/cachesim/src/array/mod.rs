@@ -29,6 +29,7 @@ pub use zcache::ZCache;
 
 use crate::ids::{Occupant, PartitionId, SlotId};
 use crate::scheme_api::Candidate;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// A physical cache array. All addresses are line addresses.
 ///
@@ -146,6 +147,19 @@ pub trait CacheArray: Send {
 
     /// Number of occupied slots.
     fn occupied(&self) -> usize;
+
+    /// Serialize the array's dynamic state (occupancy, free-slot order,
+    /// internal RNG) for checkpointing. Geometry and hash configuration
+    /// are *not* serialized: restore targets an identically-constructed
+    /// array (DESIGN.md §11).
+    fn save_state(&self, w: &mut SnapshotWriter);
+
+    /// Restore state saved by [`save_state`](Self::save_state) into an
+    /// identically-configured array.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on decode failure or a geometry mismatch.
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError>;
 }
 
 /// Boxed arrays forward every method (including overridden defaults),
@@ -197,6 +211,12 @@ impl<T: CacheArray + ?Sized> CacheArray for Box<T> {
     }
     fn occupied(&self) -> usize {
         (**self).occupied()
+    }
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        (**self).save_state(w)
+    }
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        (**self).load_state(r)
     }
 }
 
@@ -274,6 +294,67 @@ impl SlotTable {
         occ.part = part;
     }
 
+    /// Serialize the slot contents. The residency map and occupancy
+    /// counter are derived state and are rebuilt on load.
+    pub(crate) fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("slots");
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                Some(occ) => {
+                    w.u8(1);
+                    w.u64(occ.addr);
+                    w.u16(occ.part.0);
+                }
+                None => w.u8(0),
+            }
+        }
+        w.end();
+    }
+
+    /// Restore slot contents saved by [`save_state`](Self::save_state)
+    /// into a table of the same size, rebuilding the residency map.
+    pub(crate) fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("slots")?;
+        let n = r.seq_len(1)?;
+        if n != self.slots.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "slot table holds {} slots, snapshot has {n}",
+                self.slots.len()
+            )));
+        }
+        let mut slots: Vec<Option<Occupant>> = Vec::with_capacity(n);
+        let mut map = crate::fxmap::FxHashMap::default();
+        map.reserve(n);
+        let mut occupied = 0usize;
+        for slot in 0..n {
+            match r.u8()? {
+                0 => slots.push(None),
+                1 => {
+                    let addr = r.u64()?;
+                    let part = PartitionId(r.u16()?);
+                    if map.insert(addr, slot as SlotId).is_some() {
+                        return Err(SnapshotError::corrupt(format!(
+                            "duplicate address {addr:#x} in slot table"
+                        )));
+                    }
+                    slots.push(Some(Occupant { addr, part }));
+                    occupied += 1;
+                }
+                tag => {
+                    return Err(SnapshotError::corrupt(format!(
+                        "invalid slot occupancy tag {tag}"
+                    )))
+                }
+            }
+        }
+        r.end()?;
+        self.slots = slots;
+        self.map = map;
+        self.occupied = occupied;
+        Ok(())
+    }
+
     /// Move the occupant of `from` into the empty slot `to`.
     pub(crate) fn relocate(&mut self, from: SlotId, to: SlotId) {
         assert!(self.slots[to as usize].is_none(), "relocate into occupied");
@@ -283,6 +364,48 @@ impl SlotTable {
         self.map.insert(occ.addr, to);
         self.slots[to as usize] = Some(occ);
     }
+}
+
+/// Decode a free-slot list (u64 length + u32 entries) written next to a
+/// [`SlotTable`], validating it against the freshly-restored table:
+/// every entry must reference an empty in-range slot, appear once, and
+/// together with the occupied slots cover the whole array.
+pub(crate) fn read_free_list(
+    r: &mut SnapshotReader,
+    table: &SlotTable,
+) -> Result<Vec<SlotId>, SnapshotError> {
+    let len = r.seq_len(4)?;
+    if len + table.occupied() != table.len() {
+        return Err(SnapshotError::corrupt(format!(
+            "free list ({len}) + occupied ({}) does not cover {} slots",
+            table.occupied(),
+            table.len()
+        )));
+    }
+    let mut free = Vec::with_capacity(len);
+    let mut seen = vec![false; table.len()];
+    for _ in 0..len {
+        let slot = r.u32()?;
+        let idx = slot as usize;
+        if idx >= table.len() {
+            return Err(SnapshotError::corrupt(format!(
+                "free-list slot {slot} out of range"
+            )));
+        }
+        if table.occupant(slot).is_some() {
+            return Err(SnapshotError::corrupt(format!(
+                "free-list slot {slot} is occupied"
+            )));
+        }
+        if seen[idx] {
+            return Err(SnapshotError::corrupt(format!(
+                "free-list slot {slot} listed twice"
+            )));
+        }
+        seen[idx] = true;
+        free.push(slot);
+    }
+    Ok(free)
 }
 
 #[cfg(test)]

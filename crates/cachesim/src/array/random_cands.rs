@@ -4,10 +4,11 @@
 //! *uniformity assumption* holds by construction. The paper's Figures 4
 //! and 5 are measured on a 2MB instance of this array with R = 16.
 
-use super::{CacheArray, SlotTable};
+use super::{read_free_list, CacheArray, SlotTable};
 use crate::ids::{Occupant, PartitionId, SlotId};
 use crate::prng::Prng;
 use crate::scheme_api::Candidate;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// A cache array whose candidate list is `R` slots sampled uniformly at
 /// random (without replacement) from the whole array.
@@ -120,6 +121,41 @@ impl CacheArray for RandomCandidates {
 
     fn occupied(&self) -> usize {
         self.table.occupied()
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("rand-cands");
+        w.usize(self.r);
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        self.table.save_state(w);
+        w.usize(self.free.len());
+        for &f in &self.free {
+            w.u32(f);
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("rand-cands")?;
+        let cands = r.usize()?;
+        if cands != self.r {
+            return Err(SnapshotError::mismatch(format!(
+                "array provides {} candidates, snapshot has {cands}",
+                self.r
+            )));
+        }
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = r.u64()?;
+        }
+        self.table.load_state(r)?;
+        let free = read_free_list(r, &self.table)?;
+        r.end()?;
+        self.rng = Prng::from_state(state);
+        self.free = free;
+        Ok(())
     }
 }
 

@@ -4,6 +4,7 @@ use super::{CacheArray, SlotTable};
 use crate::hashing::IndexHash;
 use crate::ids::{Occupant, PartitionId, SlotId};
 use crate::scheme_api::Candidate;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// A `sets × ways` set-associative array. Slot `set * ways + way`.
 ///
@@ -137,6 +138,27 @@ impl CacheArray for SetAssociative {
 
     fn occupied(&self) -> usize {
         self.table.occupied()
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("set-assoc");
+        w.usize(self.sets);
+        w.usize(self.ways);
+        self.table.save_state(w);
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("set-assoc")?;
+        let (sets, ways) = (r.usize()?, r.usize()?);
+        if sets != self.sets || ways != self.ways {
+            return Err(SnapshotError::mismatch(format!(
+                "array is {}x{} (sets x ways), snapshot is {sets}x{ways}",
+                self.sets, self.ways
+            )));
+        }
+        self.table.load_state(r)?;
+        r.end()
     }
 }
 

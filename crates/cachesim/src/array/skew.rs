@@ -8,6 +8,7 @@ use super::{CacheArray, SlotTable};
 use crate::hashing::{IndexHash, LineHash};
 use crate::ids::{Occupant, PartitionId, SlotId};
 use crate::scheme_api::Candidate;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// A W-way skew-associative array of `sets * ways` lines; way `w` of
 /// address `a` lives at slot `w * sets + h_w(a) % sets`.
@@ -111,6 +112,28 @@ impl CacheArray for SkewAssociative {
 
     fn occupied(&self) -> usize {
         self.table.occupied()
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("skew-assoc");
+        w.usize(self.sets);
+        w.usize(self.hashes.len());
+        self.table.save_state(w);
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("skew-assoc")?;
+        let (sets, ways) = (r.usize()?, r.usize()?);
+        if sets != self.sets || ways != self.hashes.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "array is {}x{} (sets x ways), snapshot is {sets}x{ways}",
+                self.sets,
+                self.hashes.len()
+            )));
+        }
+        self.table.load_state(r)?;
+        r.end()
     }
 }
 

@@ -11,6 +11,7 @@ use super::{CacheArray, SlotTable};
 use crate::hashing::{IndexHash, LineHash};
 use crate::ids::{Occupant, PartitionId, SlotId};
 use crate::scheme_api::Candidate;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Per-candidate expansion record: how the walk reached this slot.
 #[derive(Copy, Clone, Debug)]
@@ -190,6 +191,34 @@ impl CacheArray for ZCache {
 
     fn occupied(&self) -> usize {
         self.table.occupied()
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        // `walk` is per-miss scratch (engine snapshots happen between
+        // accesses, never mid-miss), so only the table is state.
+        w.begin("zcache");
+        w.usize(self.sets);
+        w.usize(self.hashes.len());
+        w.usize(self.r);
+        self.table.save_state(w);
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("zcache")?;
+        let (sets, ways, cands) = (r.usize()?, r.usize()?, r.usize()?);
+        if sets != self.sets || ways != self.hashes.len() || cands != self.r {
+            return Err(SnapshotError::mismatch(format!(
+                "array is Z(sets={}, ways={}, R={}), snapshot is Z(sets={sets}, ways={ways}, R={cands})",
+                self.sets,
+                self.hashes.len(),
+                self.r
+            )));
+        }
+        self.table.load_state(r)?;
+        r.end()?;
+        self.walk.clear();
+        Ok(())
     }
 }
 

@@ -28,6 +28,7 @@ use crate::ids::{AccessMeta, PartitionId, SlotId};
 use crate::ranking_api::{FutilityRanking, HitRecord};
 use crate::recorder::{RecordCtx, Recorder, TimeSeriesRecorder};
 use crate::scheme_api::{Candidate, PartitionScheme, PartitionState, VictimDecision};
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::CacheStats;
 
 /// A line evicted during an access, reported back to the driver.
@@ -329,6 +330,12 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> 
     /// it is one.
     pub fn timeseries(&self) -> Option<&TimeSeriesRecorder> {
         self.recorder.as_ref()?.as_any().downcast_ref()
+    }
+
+    /// Mutable access to the attached [`TimeSeriesRecorder`], if any
+    /// (e.g. to enable streaming spill or drain rows).
+    pub fn timeseries_mut(&mut self) -> Option<&mut TimeSeriesRecorder> {
+        self.recorder.as_mut()?.as_any_mut().downcast_mut()
     }
 
     /// Process one access from `part` to line `addr`.
@@ -691,6 +698,191 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> 
         self.occupancy_changed(pool);
         self.scheme.notify_insert(pool, &self.state);
     }
+
+    /// Serialize the full engine state — time, sizing state, stats and
+    /// every component (array, ranking, scheme, recorder) — into the
+    /// versioned, checksummed snapshot format. A snapshot taken between
+    /// accesses captures everything the simulation depends on: an engine
+    /// built with the same composition that [`restore`](Self::restore)s
+    /// it replays the remaining trace bit-for-bit.
+    ///
+    /// Must be called between accesses (never mid-batch); the deferred
+    /// hit run is always flushed at batch boundaries, so this holds for
+    /// every caller outside the engine itself.
+    pub fn snapshot(&self) -> Vec<u8> {
+        debug_assert!(self.hit_run.is_empty(), "snapshot taken mid-batch");
+        let mut w = SnapshotWriter::new();
+        w.begin("engine");
+        w.u64(self.time);
+        w.usize(self.partitions);
+        w.usize(self.state.targets.len());
+        w.usize(self.state.total_slots);
+        w.end();
+        w.begin("sizing");
+        for &t in &self.state.targets {
+            w.usize(t);
+        }
+        for &a in &self.state.actual {
+            w.usize(a);
+        }
+        for &i in &self.state.insertions {
+            w.u64(i);
+        }
+        for &e in &self.state.evictions {
+            w.u64(e);
+        }
+        w.end();
+        self.stats.save_state(&mut w);
+        w.begin("array");
+        w.str(self.array.name());
+        w.usize(self.array.num_slots());
+        w.end();
+        self.array.save_state(&mut w);
+        w.begin("ranking");
+        w.str(self.ranking.name());
+        w.end();
+        self.ranking.save_state(&mut w);
+        w.begin("scheme");
+        w.str(self.scheme.name());
+        w.end();
+        self.scheme.save_state(&mut w);
+        w.begin("recorder");
+        w.bool(self.recorder.is_some());
+        w.end();
+        if let Some(rec) = &self.recorder {
+            rec.save_state(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Restore a [`snapshot`](Self::snapshot) into this engine. The
+    /// engine must have been built with the same composition — same
+    /// component names and geometry, same partition count, and a
+    /// recorder attached iff one was attached at snapshot time —
+    /// otherwise the restore fails with [`SnapshotError::Mismatch`].
+    ///
+    /// # Errors
+    /// Fails (without panicking) on truncated, corrupted or
+    /// incompatible input. On error the engine state is unspecified;
+    /// discard the engine rather than continuing to use it.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::open(bytes)?;
+        r.begin("engine")?;
+        let time = r.u64()?;
+        let partitions = r.usize()?;
+        if partitions != self.partitions {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {} partitions, engine has {}",
+                partitions, self.partitions
+            )));
+        }
+        let pools = r.usize()?;
+        if pools != self.state.targets.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {} pools, engine has {}",
+                pools,
+                self.state.targets.len()
+            )));
+        }
+        let total_slots = r.usize()?;
+        if total_slots != self.state.total_slots {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot cache has {} slots, engine has {}",
+                total_slots, self.state.total_slots
+            )));
+        }
+        r.end()?;
+        r.begin("sizing")?;
+        let mut targets = Vec::with_capacity(pools);
+        let mut actual = Vec::with_capacity(pools);
+        let mut insertions = Vec::with_capacity(pools);
+        let mut evictions = Vec::with_capacity(pools);
+        for _ in 0..pools {
+            targets.push(r.usize()?);
+        }
+        for _ in 0..pools {
+            actual.push(r.usize()?);
+        }
+        for _ in 0..pools {
+            insertions.push(r.u64()?);
+        }
+        for _ in 0..pools {
+            evictions.push(r.u64()?);
+        }
+        r.end()?;
+        self.stats.load_state(&mut r)?;
+        r.begin("array")?;
+        let array_name = r.str()?;
+        if array_name != self.array.name() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot array is {:?}, engine array is {:?}",
+                array_name,
+                self.array.name()
+            )));
+        }
+        let num_slots = r.usize()?;
+        if num_slots != self.array.num_slots() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot array has {} slots, engine array has {}",
+                num_slots,
+                self.array.num_slots()
+            )));
+        }
+        r.end()?;
+        self.array.load_state(&mut r)?;
+        r.begin("ranking")?;
+        let ranking_name = r.str()?;
+        if ranking_name != self.ranking.name() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot ranking is {:?}, engine ranking is {:?}",
+                ranking_name,
+                self.ranking.name()
+            )));
+        }
+        r.end()?;
+        self.ranking.load_state(&mut r)?;
+        r.begin("scheme")?;
+        let scheme_name = r.str()?;
+        if scheme_name != self.scheme.name() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot scheme is {:?}, engine scheme is {:?}",
+                scheme_name,
+                self.scheme.name()
+            )));
+        }
+        r.end()?;
+        self.scheme.load_state(&mut r)?;
+        r.begin("recorder")?;
+        let has_recorder = r.bool()?;
+        r.end()?;
+        match (&mut self.recorder, has_recorder) {
+            (Some(rec), true) => rec.load_state(&mut r)?,
+            (None, false) => {}
+            (Some(_), false) => {
+                return Err(SnapshotError::mismatch(
+                    "engine has a recorder attached but the snapshot has none",
+                ));
+            }
+            (None, true) => {
+                return Err(SnapshotError::mismatch(
+                    "snapshot has a recorder but the engine has none attached",
+                ));
+            }
+        }
+        r.finish()?;
+        self.time = time;
+        self.state.targets = targets;
+        self.state.actual = actual;
+        self.state.insertions = insertions;
+        self.state.evictions = evictions;
+        // Per-access scratch never carries state across accesses; clear
+        // it so a restore into a mid-lifetime engine leaves nothing
+        // stale behind.
+        self.cands.clear();
+        self.hit_run.clear();
+        self.decision = VictimDecision::default();
+        Ok(())
+    }
 }
 
 /// Object-safe engine interface: what drivers and benches need, one
@@ -732,6 +924,20 @@ pub trait Engine: Send {
     fn ranking(&self) -> &dyn FutilityRanking;
     /// The scheme (for inspection).
     fn scheme(&self) -> &dyn PartitionScheme;
+    /// Serialize the full engine state (see [`EngineCore::snapshot`]).
+    fn snapshot(&self) -> Vec<u8>;
+    /// Restore a snapshot taken from the same composition (see
+    /// [`EngineCore::restore`]).
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
+    /// Attach a [`TimeSeriesRecorder`] (see
+    /// [`EngineCore::attach_timeseries`]).
+    fn attach_timeseries(&mut self, cadence: u64, capacity: usize);
+    /// The attached recorder downcast to a [`TimeSeriesRecorder`], if
+    /// it is one.
+    fn timeseries(&self) -> Option<&TimeSeriesRecorder>;
+    /// Mutable access to the attached [`TimeSeriesRecorder`], if any
+    /// (e.g. to enable streaming spill or drain rows).
+    fn timeseries_mut(&mut self) -> Option<&mut TimeSeriesRecorder>;
 }
 
 impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> Engine for EngineCore<A, R, S> {
@@ -778,6 +984,21 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> Engine for EngineCor
     }
     fn scheme(&self) -> &dyn PartitionScheme {
         EngineCore::scheme(self)
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        EngineCore::snapshot(self)
+    }
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        EngineCore::restore(self, bytes)
+    }
+    fn attach_timeseries(&mut self, cadence: u64, capacity: usize) {
+        EngineCore::attach_timeseries(self, cadence, capacity)
+    }
+    fn timeseries(&self) -> Option<&TimeSeriesRecorder> {
+        EngineCore::timeseries(self)
+    }
+    fn timeseries_mut(&mut self) -> Option<&mut TimeSeriesRecorder> {
+        EngineCore::timeseries_mut(self)
     }
 }
 
@@ -1012,5 +1233,81 @@ mod tests {
         ));
         assert_eq!(dyn_eng.access_batch(&block), mono_hits);
         assert_eq!(dyn_eng.stats().total_hits(), mono.stats().total_hits());
+    }
+
+    fn drive(c: &mut PartitionedCache, seed: u64, n: u64) -> Vec<AccessOutcome> {
+        let mut x = seed | 1;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            out.push(c.access(
+                PartitionId((x % 2) as u16),
+                (x >> 33) % 150,
+                AccessMeta::default(),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        let mut original = small_cache(2);
+        original.set_targets(&[40, 24]);
+        original.attach_timeseries(16, 64);
+        drive(&mut original, 11, 700);
+        let snap = original.snapshot();
+
+        let mut resumed = small_cache(2);
+        resumed.attach_timeseries(16, 64);
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.time(), original.time());
+        assert_eq!(resumed.state().actual, original.state().actual);
+        assert_eq!(resumed.state().targets, original.state().targets);
+
+        // The continuation must match access for access, and the final
+        // serialized states must be byte-identical.
+        let a = drive(&mut original, 99, 500);
+        let b = drive(&mut resumed, 99, 500);
+        assert_eq!(a, b);
+        assert_eq!(original.snapshot(), resumed.snapshot());
+        let (ta, tb) = (
+            original.timeseries().unwrap(),
+            resumed.timeseries().unwrap(),
+        );
+        assert_eq!(ta.rows(), tb.rows());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_composition() {
+        let mut donor = small_cache(2);
+        drive(&mut donor, 3, 100);
+        let snap = donor.snapshot();
+
+        // Wrong partition count.
+        let err = small_cache(3).restore(&snap).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch { .. }), "{err}");
+        // Wrong geometry.
+        let mut wrong_geom = PartitionedCache::new(
+            Box::new(RandomCandidates::new(128, 8, 1)),
+            crate::naive_lru(),
+            crate::evict_max_futility(),
+            2,
+        );
+        let err = wrong_geom.restore(&snap).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch { .. }), "{err}");
+        // Wrong array type.
+        let mut wrong_array = PartitionedCache::new(
+            Box::new(FullyAssociative::new(64)),
+            crate::naive_lru(),
+            crate::evict_max_futility(),
+            2,
+        );
+        let err = wrong_array.restore(&snap).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch { .. }), "{err}");
+        // Recorder attached on the engine but absent from the snapshot.
+        let mut with_rec = small_cache(2);
+        with_rec.attach_timeseries(16, 64);
+        let err = with_rec.restore(&snap).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch { .. }), "{err}");
     }
 }

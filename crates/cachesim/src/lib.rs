@@ -41,6 +41,7 @@ pub mod prng;
 pub mod ranking_api;
 pub mod recorder;
 pub mod scheme_api;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod umon;
@@ -50,6 +51,7 @@ pub use ids::{AccessMeta, Occupant, PartitionId, SlotId, NO_NEXT_USE};
 pub use ranking_api::{FutilityRanking, HitRecord, HitRunAgg};
 pub use recorder::{RecordCtx, Recorder, Sample, TimeSeriesRecorder};
 pub use scheme_api::{Candidate, PartitionScheme, PartitionState, Probe, VictimDecision};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::CacheStats;
 pub use trace::{Access, Trace};
 

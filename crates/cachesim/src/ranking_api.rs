@@ -14,6 +14,7 @@ use crate::fxmap::FxHashMap;
 use crate::ids::{AccessMeta, PartitionId, SlotId};
 use crate::ostree::{OsTreap, RankQuery};
 use crate::scheme_api::Candidate;
+use crate::snapshot::{read_u64_map, write_u64_map, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// One resident-line hit, as queued by the engine's batched access
 /// pipeline for a deferred bulk [`FutilityRanking::on_hit_batch`] call.
@@ -192,6 +193,18 @@ pub trait FutilityRanking: Send {
 
     /// Number of lines currently tracked in `part`.
     fn pool_len(&self, part: PartitionId) -> usize;
+
+    /// Serialize all ranking state — pool contents, timestamps, shadow
+    /// structures, internal RNG streams — for checkpointing, such that a
+    /// restored ranking continues bit-identically (DESIGN.md §11).
+    fn save_state(&self, w: &mut SnapshotWriter);
+
+    /// Restore state saved by [`save_state`](Self::save_state) into a
+    /// ranking of the same kind.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on decode failure or configuration mismatch.
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError>;
 }
 
 /// Boxed rankings forward every method (including overridden defaults),
@@ -240,6 +253,12 @@ impl<T: FutilityRanking + ?Sized> FutilityRanking for Box<T> {
     }
     fn pool_len(&self, part: PartitionId) -> usize {
         (**self).pool_len(part)
+    }
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        (**self).save_state(w)
+    }
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        (**self).load_state(r)
     }
 }
 
@@ -420,6 +439,39 @@ impl FutilityRanking for NaiveLru {
 
     fn pool_len(&self, part: PartitionId) -> usize {
         self.pools.get(part.index()).map_or(0, |p| p.by_time.len())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("naive-lru");
+        w.usize(self.pools.len());
+        for pool in &self.pools {
+            pool.by_time.save_state(w, |w, k| {
+                w.u64(k.0);
+                w.u64(k.1);
+            });
+            write_u64_map(w, &pool.last);
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("naive-lru")?;
+        let n = r.seq_len(1)?;
+        let mut pools = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut pool = Pool::default();
+            pool.by_time.load_state(r, |r| Ok((r.u64()?, r.u64()?)))?;
+            pool.last = read_u64_map(r)?;
+            if pool.last.len() != pool.by_time.len() {
+                return Err(SnapshotError::corrupt(
+                    "LRU pool index and treap disagree on line count",
+                ));
+            }
+            pools.push(pool);
+        }
+        r.end()?;
+        self.pools = pools;
+        Ok(())
     }
 }
 

@@ -19,9 +19,12 @@
 
 use crate::ids::PartitionId;
 use crate::scheme_api::{PartitionScheme, PartitionState, Probe};
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::CacheStats;
 use std::any::Any;
 use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::sync::Mutex;
 
 /// Everything a [`Recorder`] may inspect on a tick: engine time, the
 /// sizing state, accumulated statistics and the scheme (for telemetry
@@ -54,6 +57,24 @@ pub trait Recorder: Send {
 
     /// Mutable downcast support.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Serialize the recorder's state for checkpointing. Recorders with
+    /// no replay-relevant state keep the default, which writes an empty
+    /// named section so restore still verifies recorder identity.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("stateless-recorder");
+        w.end();
+    }
+
+    /// Restore state saved by [`save_state`](Self::save_state) into a
+    /// recorder of the same kind and configuration.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on decode failure or configuration mismatch.
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("stateless-recorder")?;
+        r.end()
+    }
 }
 
 /// One recorded time-series sample in long format: at `time`, series
@@ -115,6 +136,55 @@ pub struct TimeSeriesRecorder {
     prev_generation: u64,
     /// Scratch buffer handed to `PartitionScheme::telemetry`.
     probes: Vec<Probe>,
+    /// Rows written to the streaming sink so far (counts across a
+    /// checkpoint/resume; the sink itself is reattached by the caller).
+    spilled: u64,
+    spill: Option<Spill>,
+}
+
+/// Streaming spill sink: ring overflow writes the oldest sample out as
+/// a CSV row instead of dropping it, so an arbitrarily long recording
+/// runs in bounded memory while producing output byte-identical to the
+/// unbounded in-memory path.
+struct Spill {
+    sink: Box<dyn Write + Send>,
+    /// First write error, deferred to [`TimeSeriesRecorder::finish_stream`]
+    /// (`record` ticks cannot surface it).
+    error: Option<io::Error>,
+}
+
+impl std::fmt::Debug for Spill {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Spill")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Spill {
+    fn write_row(&mut self, sample: &Sample) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = write_sample_row(&mut self.sink, sample) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// One long-format CSV row, byte-identical to what
+/// [`TimeSeriesRecorder::rows`] plus a `join(",")`-per-row CSV writer
+/// produces for the same sample.
+fn write_sample_row(sink: &mut dyn Write, s: &Sample) -> io::Result<()> {
+    let part = s.part.map_or_else(|| "-".to_string(), |p| p.0.to_string());
+    writeln!(
+        sink,
+        "{},{},{},{}",
+        s.time,
+        s.series,
+        part,
+        fmt_value(s.value)
+    )
 }
 
 impl TimeSeriesRecorder {
@@ -134,6 +204,8 @@ impl TimeSeriesRecorder {
             prev: Vec::new(),
             prev_generation: 0,
             probes: Vec::new(),
+            spilled: 0,
+            spill: None,
         }
     }
 
@@ -191,13 +263,86 @@ impl TimeSeriesRecorder {
             .collect()
     }
 
+    /// Switch to bounded streaming mode: the CSV header is written to
+    /// `sink` immediately, and from then on every sample the ring would
+    /// drop is written out as a CSV row instead. Together with
+    /// [`finish_stream`](Self::finish_stream) the sink receives exactly
+    /// the bytes the in-memory path (an unbounded ring rendered through
+    /// [`rows`](Self::rows) and a CSV writer) would produce.
+    ///
+    /// # Errors
+    /// Propagates the header write failure.
+    pub fn stream_to(&mut self, mut sink: Box<dyn Write + Send>) -> io::Result<()> {
+        writeln!(sink, "{}", Self::CSV_HEADER.join(","))?;
+        self.spill = Some(Spill { sink, error: None });
+        Ok(())
+    }
+
+    /// Whether a streaming sink is attached.
+    pub fn is_streaming(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// Rows already written to the streaming sink (0 when not
+    /// streaming).
+    pub fn spilled(&self) -> u64 {
+        self.spilled
+    }
+
+    /// End streaming mode: drain the retained ring to the sink (oldest
+    /// first), flush, and detach. The ring is left empty.
+    ///
+    /// # Errors
+    /// The first deferred overflow-write error, or the drain/flush
+    /// failure.
+    pub fn finish_stream(&mut self) -> io::Result<()> {
+        let mut spill = self
+            .spill
+            .take()
+            .ok_or_else(|| io::Error::other("finish_stream without stream_to"))?;
+        if let Some(e) = spill.error.take() {
+            return Err(e);
+        }
+        while let Some(sample) = self.samples.pop_front() {
+            write_sample_row(&mut spill.sink, &sample)?;
+            self.spilled += 1;
+        }
+        spill.sink.flush()
+    }
+
     fn push(&mut self, sample: Sample) {
         if self.samples.len() == self.capacity {
-            self.samples.pop_front();
-            self.dropped += 1;
+            let oldest = self.samples.pop_front().expect("capacity > 0");
+            match &mut self.spill {
+                Some(spill) => {
+                    spill.write_row(&oldest);
+                    self.spilled += 1;
+                }
+                None => self.dropped += 1,
+            }
         }
         self.samples.push_back(sample);
     }
+}
+
+/// Re-intern a series name decoded from a snapshot as the
+/// `&'static str` that [`Sample`] requires. Standard engine series
+/// resolve to the [`STANDARD_SERIES`] constants; scheme probe names go
+/// through a process-global registry that leaks one allocation per
+/// distinct name (bounded by the set of probe names schemes define, so
+/// effectively constant).
+fn intern_series(name: &str) -> &'static str {
+    if let Some(&s) = STANDARD_SERIES.iter().find(|&&s| s == name) {
+        return s;
+    }
+    static EXTRA: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut extra = EXTRA.lock().expect("series name registry poisoned");
+    if let Some(&s) = extra.iter().find(|&&s| s == name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    extra.push(leaked);
+    leaked
 }
 
 /// Deterministic value formatting for the time-series CSV.
@@ -282,6 +427,94 @@ impl Recorder for TimeSeriesRecorder {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("timeseries-recorder");
+        w.u64(self.cadence);
+        w.usize(self.capacity);
+        w.u64(self.dropped);
+        w.u64(self.spilled);
+        w.u64(self.prev_generation);
+        w.usize(self.prev.len());
+        for b in &self.prev {
+            w.u64(b.hits);
+            w.u64(b.misses);
+            w.u64(b.evictions);
+            w.f64(b.futility_sum);
+        }
+        w.usize(self.samples.len());
+        for s in &self.samples {
+            w.u64(s.time);
+            w.str(s.series);
+            match s.part {
+                Some(p) => {
+                    w.u8(1);
+                    w.u16(p.0);
+                }
+                None => w.u8(0),
+            }
+            w.f64(s.value);
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("timeseries-recorder")?;
+        let (cadence, capacity) = (r.u64()?, r.usize()?);
+        if cadence != self.cadence || capacity != self.capacity {
+            return Err(SnapshotError::mismatch(format!(
+                "recorder is cadence={} capacity={}, snapshot is cadence={cadence} capacity={capacity}",
+                self.cadence, self.capacity
+            )));
+        }
+        let dropped = r.u64()?;
+        let spilled = r.u64()?;
+        let prev_generation = r.u64()?;
+        let prev_len = r.seq_len(32)?;
+        let mut prev = Vec::with_capacity(prev_len);
+        for _ in 0..prev_len {
+            prev.push(IntervalBase {
+                hits: r.u64()?,
+                misses: r.u64()?,
+                evictions: r.u64()?,
+                futility_sum: r.f64()?,
+            });
+        }
+        let n = r.seq_len(18)?;
+        if n > capacity {
+            return Err(SnapshotError::corrupt(format!(
+                "ring holds {n} samples but capacity is {capacity}"
+            )));
+        }
+        let mut samples = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let time = r.u64()?;
+            let series = intern_series(r.str()?);
+            let part = match r.u8()? {
+                0 => None,
+                1 => Some(PartitionId(r.u16()?)),
+                tag => {
+                    return Err(SnapshotError::corrupt(format!(
+                        "invalid sample partition tag {tag}"
+                    )))
+                }
+            };
+            let value = r.f64()?;
+            samples.push_back(Sample {
+                time,
+                series,
+                part,
+                value,
+            });
+        }
+        r.end()?;
+        self.samples = samples;
+        self.dropped = dropped;
+        self.spilled = spilled;
+        self.prev = prev;
+        self.prev_generation = prev_generation;
+        Ok(())
     }
 }
 
@@ -402,5 +635,142 @@ mod tests {
         assert_eq!(fmt_value(-17.0), "-17");
         assert_eq!(fmt_value(0.5), "0.500000");
         assert_eq!(fmt_value(f64::NAN), "nan");
+    }
+
+    #[test]
+    fn overflow_drops_exactly_the_oldest_and_keeps_a_contiguous_suffix() {
+        let scheme = EvictMaxFutility;
+        let state = PartitionState::new(1, 8);
+        let stats = CacheStats::new(1);
+        // Capacity deliberately not a multiple of the per-tick sample
+        // count, so the ring boundary cuts through a tick.
+        let cap = 23;
+        let mut rec = TimeSeriesRecorder::new(1, cap);
+        let mut unbounded = TimeSeriesRecorder::new(1, 1_000_000);
+        let ticks = 9u64;
+        for t in 1..=ticks {
+            rec.record(&ctx(t, &state, &stats, &scheme));
+            unbounded.record(&ctx(t, &state, &stats, &scheme));
+        }
+        let total = ticks * STANDARD_SERIES.len() as u64;
+        assert_eq!(rec.len(), cap);
+        assert_eq!(
+            rec.dropped(),
+            total - cap as u64,
+            "dropped() must count exactly the evicted samples"
+        );
+        assert_eq!(unbounded.dropped(), 0);
+        // The retained samples are exactly the newest `cap` samples of
+        // the unbounded recording, in emission order.
+        // Bit-level sample identity (NaN-valued series like a division
+        // by zero `aef` compare equal by bits, not by `==`).
+        let key = |s: &Sample| (s.time, s.series, s.part, s.value.to_bits());
+        let suffix: Vec<_> = unbounded
+            .samples()
+            .skip((total - cap as u64) as usize)
+            .map(key)
+            .collect();
+        let kept: Vec<_> = rec.samples().map(key).collect();
+        assert_eq!(kept, suffix, "ring must keep a contiguous suffix");
+        assert_eq!(
+            rec.rows(),
+            unbounded.rows()[(total - cap as u64) as usize..]
+        );
+    }
+
+    #[test]
+    fn streaming_output_is_byte_identical_to_in_memory_rows() {
+        use std::sync::{Arc, Mutex as StdMutex};
+
+        /// Shared in-memory sink standing in for a CSV file.
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let scheme = EvictMaxFutility;
+        let mut state = PartitionState::new(2, 16);
+        state.targets = vec![9, 7];
+        let stats = CacheStats::new(2);
+
+        // Streaming arm: a tiny ring spilling to the sink.
+        let buf = SharedBuf::default();
+        let mut streaming = TimeSeriesRecorder::new(3, 5);
+        streaming.stream_to(Box::new(buf.clone())).unwrap();
+        // In-memory arm: a ring large enough to never drop.
+        let mut in_memory = TimeSeriesRecorder::new(3, 1_000_000);
+
+        for t in 1..=50 {
+            state.actual[0] = (t % 11) as usize;
+            state.actual[1] = (t % 7) as usize;
+            streaming.record(&ctx(t, &state, &stats, &scheme));
+            in_memory.record(&ctx(t, &state, &stats, &scheme));
+        }
+        streaming.finish_stream().unwrap();
+        assert!(streaming.is_empty(), "finish_stream drains the ring");
+        assert_eq!(streaming.dropped(), 0, "spilled samples are not drops");
+
+        let mut expected = Vec::new();
+        writeln!(expected, "{}", TimeSeriesRecorder::CSV_HEADER.join(",")).unwrap();
+        for row in in_memory.rows() {
+            writeln!(expected, "{}", row.join(",")).unwrap();
+        }
+        let got = buf.0.lock().unwrap().clone();
+        assert_eq!(
+            String::from_utf8(got).unwrap(),
+            String::from_utf8(expected).unwrap()
+        );
+        assert_eq!(streaming.spilled(), in_memory.len() as u64);
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_ring_baselines_and_counters() {
+        let scheme = EvictMaxFutility;
+        let mut state = PartitionState::new(1, 8);
+        state.targets[0] = 4;
+        let mut stats = CacheStats::new(1);
+        let mut rec = TimeSeriesRecorder::new(2, 9);
+        for t in 1..=12 {
+            if t % 3 == 0 {
+                stats.record_miss(PartitionId(0));
+            }
+            state.actual[0] = (t % 5) as usize;
+            rec.record(&ctx(t, &state, &stats, &scheme));
+        }
+        let mut w = SnapshotWriter::new();
+        rec.save_state(&mut w);
+        let bytes = w.finish();
+
+        let mut back = TimeSeriesRecorder::new(2, 9);
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        back.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(back.dropped(), rec.dropped());
+        assert_eq!(back.rows(), rec.rows());
+        // Continuation must be identical: same future ticks, same deltas.
+        for t in 13..=20 {
+            stats.record_miss(PartitionId(0));
+            state.actual[0] = (t % 5) as usize;
+            rec.record(&ctx(t, &state, &stats, &scheme));
+            back.record(&ctx(t, &state, &stats, &scheme));
+        }
+        assert_eq!(back.rows(), rec.rows());
+        assert_eq!(back.dropped(), rec.dropped());
+
+        // A geometry mismatch is rejected, not silently misloaded.
+        let mut wrong = TimeSeriesRecorder::new(5, 9);
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        assert!(matches!(
+            wrong.load_state(&mut r),
+            Err(SnapshotError::Mismatch { .. })
+        ));
     }
 }

@@ -4,6 +4,7 @@
 
 use crate::ids::PartitionId;
 use crate::ranking_api::FutilityRanking;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::SlotId;
 
 /// One replacement candidate as presented to a scheme: the physical
@@ -249,6 +250,25 @@ pub trait PartitionScheme: Send {
     /// path — so implementations may do modest per-call work, but must
     /// not assume any particular cadence. The default emits nothing.
     fn telemetry(&self, _state: &PartitionState, _out: &mut Vec<Probe>) {}
+
+    /// Serialize the scheme's internal control state (feedback
+    /// registers, apertures, probabilities, RNG streams, …) for
+    /// checkpointing. Stateless schemes keep the default, which writes
+    /// an empty named section so restore still verifies scheme identity.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("stateless-scheme");
+        w.end();
+    }
+
+    /// Restore state saved by [`save_state`](Self::save_state) into a
+    /// scheme of the same kind and configuration.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on decode failure or configuration mismatch.
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("stateless-scheme")?;
+        r.end()
+    }
 }
 
 /// Boxed schemes forward every method (including overridden defaults),
@@ -313,6 +333,12 @@ impl<T: PartitionScheme + ?Sized> PartitionScheme for Box<T> {
     }
     fn telemetry(&self, state: &PartitionState, out: &mut Vec<Probe>) {
         (**self).telemetry(state, out)
+    }
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        (**self).save_state(w)
+    }
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        (**self).load_state(r)
     }
 }
 

@@ -3,6 +3,7 @@
 //! and size-deviation sampling (Section IV-D).
 
 use crate::ids::PartitionId;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::HashMap;
 
 /// Number of histogram bins used for eviction-futility distributions.
@@ -332,6 +333,111 @@ impl CacheStats {
     /// Total hits across all partitions.
     pub fn total_hits(&self) -> u64 {
         self.parts.iter().map(|p| p.hits).sum()
+    }
+
+    /// Serialize all statistics — counters, histograms, the lazy
+    /// deviation-accounting fields and the reset generation — for
+    /// checkpointing (DESIGN.md §11). Hash-backed histograms are
+    /// written sorted by key, so snapshot bytes are deterministic.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("stats");
+        w.bool(self.sample_deviation);
+        w.bool(self.deviation_histogram);
+        w.bool(self.futility_histogram);
+        w.u64(self.dev_samples);
+        w.u64(self.generation);
+        w.usize(self.sampled_parts);
+        w.usize(self.parts.len());
+        for p in &self.parts {
+            w.u64(p.hits);
+            w.u64(p.misses);
+            w.u64(p.evictions);
+            w.f64(p.evict_futility_sum);
+            w.usize(p.evict_futility_hist.len());
+            for &bin in &p.evict_futility_hist {
+                w.u64(bin);
+            }
+            let mut devs: Vec<(i64, u64)> = p.size_dev_hist.iter().map(|(&k, &v)| (k, v)).collect();
+            devs.sort_unstable();
+            w.usize(devs.len());
+            for (k, v) in devs {
+                w.i64(k);
+                w.u64(v);
+            }
+            w.u64(p.size_dev_samples);
+            w.f64(p.size_dev_abs_sum);
+            w.u64(p.occupancy_sum);
+            w.i64(p.cur_dev);
+            w.u64(p.cur_actual);
+            w.u64(p.flushed_at);
+        }
+        w.end();
+    }
+
+    /// Restore statistics saved by [`save_state`](Self::save_state)
+    /// into a stats block tracking the same number of pools.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on decode failure or a pool-count mismatch.
+    pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("stats")?;
+        let sample_deviation = r.bool()?;
+        let deviation_histogram = r.bool()?;
+        let futility_histogram = r.bool()?;
+        let dev_samples = r.u64()?;
+        let generation = r.u64()?;
+        let sampled_parts = r.usize()?;
+        let n = r.seq_len(8)?;
+        if n != self.parts.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "stats track {} pools, snapshot has {n}",
+                self.parts.len()
+            )));
+        }
+        let mut parts = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut p = PartitionStats {
+                hits: r.u64()?,
+                misses: r.u64()?,
+                evictions: r.u64()?,
+                evict_futility_sum: r.f64()?,
+                ..PartitionStats::default()
+            };
+            let bins = r.seq_len(8)?;
+            if bins != 0 && bins != FUTILITY_BINS {
+                return Err(SnapshotError::corrupt(format!(
+                    "futility histogram has {bins} bins, expected 0 or {FUTILITY_BINS}"
+                )));
+            }
+            p.evict_futility_hist = (0..bins).map(|_| r.u64()).collect::<Result<_, _>>()?;
+            let devs = r.seq_len(16)?;
+            p.size_dev_hist.reserve(devs);
+            for _ in 0..devs {
+                let k = r.i64()?;
+                let v = r.u64()?;
+                if p.size_dev_hist.insert(k, v).is_some() {
+                    return Err(SnapshotError::corrupt(
+                        "duplicate key in size-deviation histogram",
+                    ));
+                }
+            }
+            p.size_dev_samples = r.u64()?;
+            p.size_dev_abs_sum = r.f64()?;
+            p.occupancy_sum = r.u64()?;
+            p.cur_dev = r.i64()?;
+            p.cur_actual = r.u64()?;
+            p.flushed_at = r.u64()?;
+            parts.push(p);
+        }
+        r.end()?;
+        self.parts = parts;
+        self.sample_deviation = sample_deviation;
+        self.deviation_histogram = deviation_histogram;
+        self.futility_histogram = futility_histogram;
+        self.dev_samples = dev_samples;
+        self.generation = generation;
+        self.sampled_parts = sampled_parts;
+        Ok(())
     }
 
     /// Reset all counters, keeping the pool count. Useful after warmup.

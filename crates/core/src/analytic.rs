@@ -2,7 +2,10 @@
 //! the scheme analyzed in Section IV, used for Figures 4 and 5.
 
 use crate::scaling::{solve_scaling_factors, ScalingError};
-use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, Probe, VictimDecision};
+use cachesim::{
+    Candidate, PartitionId, PartitionScheme, PartitionState, Probe, SnapshotError, SnapshotReader,
+    SnapshotWriter, VictimDecision,
+};
 
 /// FS with fixed per-partition scaling factors: on every eviction the
 /// candidate with the largest `α_p · futility` is evicted.
@@ -85,6 +88,38 @@ impl PartitionScheme for FsAnalytic {
         for (i, &a) in self.alphas.iter().enumerate() {
             out.push(Probe::per_part("alpha", PartitionId(i as u16), a));
         }
+    }
+
+    // The scheme is stateless between accesses, but the fixed scaling
+    // factors are part of the composition: serialize them so a restore
+    // into a differently configured scheme fails instead of silently
+    // replaying with the wrong alphas.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("fs-analytic");
+        w.usize(self.alphas.len());
+        for &a in &self.alphas {
+            w.f64(a);
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("fs-analytic")?;
+        let n = r.usize()?;
+        if n != self.alphas.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {n} scaling factors, engine has {}",
+                self.alphas.len()
+            )));
+        }
+        for &a in &self.alphas {
+            if r.f64()?.to_bits() != a.to_bits() {
+                return Err(SnapshotError::mismatch(
+                    "snapshot scaling factors differ from the engine's",
+                ));
+            }
+        }
+        r.end()
     }
 }
 

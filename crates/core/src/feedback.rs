@@ -12,7 +12,10 @@
 //! `futility × ratio^shift_width` (with the default `ratio = 2` this is
 //! the paper's left-shift by `ScalingShiftWidth` bits).
 
-use cachesim::{Candidate, PartitionId, PartitionScheme, PartitionState, Probe, VictimDecision};
+use cachesim::{
+    Candidate, PartitionId, PartitionScheme, PartitionState, Probe, SnapshotError, SnapshotReader,
+    SnapshotWriter, VictimDecision,
+};
 
 /// Maximum value of the 3-bit saturating shift-width register.
 pub const MAX_SHIFT_WIDTH: u8 = 7;
@@ -177,6 +180,56 @@ impl PartitionScheme for FsFeedback {
             ));
             out.push(Probe::per_part("alpha", part, self.alpha(part)));
         }
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("fs-feedback");
+        w.u32(self.config.interval);
+        w.f64(self.config.ratio);
+        w.u8(self.config.max_shift);
+        w.usize(self.regs.len());
+        for r in &self.regs {
+            w.u32(r.insertion_counter);
+            w.u32(r.eviction_counter);
+            w.u8(r.shift_width);
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("fs-feedback")?;
+        let interval = r.u32()?;
+        let ratio = r.f64()?;
+        let max_shift = r.u8()?;
+        if interval != self.config.interval
+            || ratio.to_bits() != self.config.ratio.to_bits()
+            || max_shift != self.config.max_shift
+        {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot feedback config (l={interval}, ratio={ratio}, max_shift={max_shift}) \
+                 differs from engine config (l={}, ratio={}, max_shift={})",
+                self.config.interval, self.config.ratio, self.config.max_shift
+            )));
+        }
+        let n = r.usize()?;
+        if n != self.regs.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {n} feedback registers, engine has {}",
+                self.regs.len()
+            )));
+        }
+        for reg in &mut self.regs {
+            reg.insertion_counter = r.u32()?;
+            reg.eviction_counter = r.u32()?;
+            reg.shift_width = r.u8()?;
+            if reg.shift_width > self.config.max_shift {
+                return Err(SnapshotError::corrupt(format!(
+                    "shift width {} exceeds the {}-level register",
+                    reg.shift_width, self.config.max_shift
+                )));
+            }
+        }
+        r.end()
     }
 }
 

@@ -15,7 +15,10 @@
 
 use crate::pool::TreapPool;
 use cachesim::fxmap::FxHashMap;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId};
+use cachesim::{
+    AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId, SnapshotError,
+    SnapshotReader, SnapshotWriter,
+};
 
 /// Number of timestamp buckets per partition "generation" (`K = size/16`).
 const BUCKETS_PER_SIZE: u64 = 16;
@@ -251,6 +254,79 @@ impl FutilityRanking for CoarseLru {
 
     fn pool_len(&self, part: PartitionId) -> usize {
         self.pools.get(part.index()).map_or(0, |p| p.tags.len())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("coarse-lru");
+        w.usize(self.pools.len());
+        for pool in &self.pools {
+            w.u8(pool.current_ts);
+            w.u64(pool.accesses);
+            // Tags in sorted address order so identical states always
+            // serialize to identical bytes.
+            let mut tags: Vec<(u64, u8)> = pool.tags.iter().map(|(&a, &t)| (a, t)).collect();
+            tags.sort_unstable();
+            w.usize(tags.len());
+            for (addr, tag) in tags {
+                w.u64(addr);
+                w.u8(tag);
+            }
+            w.bool(pool.shadow.is_some());
+            if let Some(s) = &pool.shadow {
+                s.save_state(w);
+            }
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("coarse-lru")?;
+        let n = r.usize()?;
+        if n != self.pools.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {n} ranking pools, engine has {}",
+                self.pools.len()
+            )));
+        }
+        for pool in &mut self.pools {
+            pool.current_ts = r.u8()?;
+            pool.accesses = r.u64()?;
+            let len = r.seq_len(9)?;
+            pool.tags = FxHashMap::default();
+            pool.tags.reserve(len);
+            let mut prev: Option<u64> = None;
+            for _ in 0..len {
+                let addr = r.u64()?;
+                if prev.is_some_and(|p| p >= addr) {
+                    return Err(SnapshotError::corrupt(
+                        "coarse-lru tags are not strictly sorted",
+                    ));
+                }
+                prev = Some(addr);
+                let tag = r.u8()?;
+                pool.tags.insert(addr, tag);
+            }
+            let has_shadow = r.bool()?;
+            match (&mut pool.shadow, has_shadow) {
+                (Some(s), true) => {
+                    s.load_state(r)?;
+                    if s.len() != pool.tags.len() {
+                        return Err(SnapshotError::corrupt(format!(
+                            "coarse-lru shadow tracks {} lines but pool has {} tags",
+                            s.len(),
+                            pool.tags.len()
+                        )));
+                    }
+                }
+                (None, false) => {}
+                _ => {
+                    return Err(SnapshotError::mismatch(
+                        "snapshot and engine disagree on the coarse-lru exact shadow",
+                    ));
+                }
+            }
+        }
+        r.end()
     }
 }
 

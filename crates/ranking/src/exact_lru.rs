@@ -1,8 +1,11 @@
 //! Exact least-recently-used futility ranking.
 
-use crate::pool::{batch_over_pools, TreapPool};
+use crate::pool::{batch_over_pools, load_pools, save_pools, TreapPool};
 use cachesim::ostree::RankQuery;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId};
+use cachesim::{
+    AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId, SnapshotError,
+    SnapshotReader, SnapshotWriter,
+};
 
 /// Exact LRU: lines are ranked by last-access time; the least recently
 /// used line of a partition has futility 1.
@@ -90,6 +93,14 @@ impl FutilityRanking for ExactLru {
 
     fn pool_len(&self, part: PartitionId) -> usize {
         self.pools.get(part.index()).map_or(0, |p| p.len())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        save_pools("exact-lru", &self.pools, w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        load_pools("exact-lru", &mut self.pools, r)
     }
 }
 

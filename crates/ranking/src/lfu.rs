@@ -5,7 +5,11 @@
 use crate::pool::{batch_over_pools, TreapPool};
 use cachesim::fxmap::FxHashMap;
 use cachesim::ostree::RankQuery;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId};
+use cachesim::snapshot::{read_u64_map, write_u64_map};
+use cachesim::{
+    AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId, SnapshotError,
+    SnapshotReader, SnapshotWriter,
+};
 
 /// Bits of the composite key reserved for the recency tiebreak.
 const TIME_BITS: u32 = 44;
@@ -132,6 +136,40 @@ impl FutilityRanking for Lfu {
 
     fn pool_len(&self, part: PartitionId) -> usize {
         self.pools.get(part.index()).map_or(0, |p| p.len())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("lfu");
+        w.usize(self.pools.len());
+        for (pool, counts) in self.pools.iter().zip(&self.counts) {
+            pool.save_state(w);
+            write_u64_map(w, counts);
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("lfu")?;
+        let n = r.usize()?;
+        if n != self.pools.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {n} ranking pools, engine has {}",
+                self.pools.len()
+            )));
+        }
+        self.counts.resize_with(n, FxHashMap::default);
+        for (pool, counts) in self.pools.iter_mut().zip(&mut self.counts) {
+            pool.load_state(r)?;
+            *counts = read_u64_map(r)?;
+            if counts.len() != pool.len() {
+                return Err(SnapshotError::corrupt(format!(
+                    "lfu pool tracks {} lines but has {} counts",
+                    pool.len(),
+                    counts.len()
+                )));
+            }
+        }
+        r.end()
     }
 }
 

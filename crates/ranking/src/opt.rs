@@ -5,9 +5,12 @@
 //! artifacts (Figures 2, 4–7) and to expose the performance headroom of
 //! high associativity (Figure 6a).
 
-use crate::pool::{batch_over_pools, TreapPool};
+use crate::pool::{batch_over_pools, load_pools, save_pools, TreapPool};
 use cachesim::ostree::RankQuery;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId};
+use cachesim::{
+    AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId, SnapshotError,
+    SnapshotReader, SnapshotWriter,
+};
 
 /// OPT (Belady) ranking. Requires accesses annotated with `next_use`
 /// metadata (see [`Trace::annotate_next_use`](cachesim::trace::Trace::annotate_next_use));
@@ -99,6 +102,14 @@ impl FutilityRanking for Opt {
 
     fn pool_len(&self, part: PartitionId) -> usize {
         self.pools.get(part.index()).map_or(0, |p| p.len())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        save_pools("opt", &self.pools, w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        load_pools("opt", &mut self.pools, r)
     }
 }
 

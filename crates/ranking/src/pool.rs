@@ -2,7 +2,8 @@
 
 use cachesim::fxmap::FxHashMap;
 use cachesim::ostree::{OsTreap, RankQuery};
-use cachesim::Candidate;
+use cachesim::snapshot::{read_u64_map, write_u64_map};
+use cachesim::{Candidate, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// One partition's worth of ranking state: an order-statistic treap over
 /// `(key, addr)` pairs plus an address → key map.
@@ -69,6 +70,29 @@ impl<const HIGH_IS_FUTILE: bool> TreapPool<HIGH_IS_FUTILE> {
         }
     }
 
+    /// Serialize the pool (treap plus key map) into an open section.
+    pub(crate) fn save_state(&self, w: &mut SnapshotWriter) {
+        self.treap.save_state(w, |w, k| {
+            w.u64(k.0);
+            w.u64(k.1);
+        });
+        write_u64_map(w, &self.keys);
+    }
+
+    /// Restore a pool serialized by [`save_state`](Self::save_state).
+    pub(crate) fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.treap.load_state(r, |r| Ok((r.u64()?, r.u64()?)))?;
+        self.keys = read_u64_map(r)?;
+        if self.keys.len() != self.treap.len() {
+            return Err(SnapshotError::corrupt(format!(
+                "treap pool has {} tracked keys but {} treap entries",
+                self.keys.len(),
+                self.treap.len()
+            )));
+        }
+        Ok(())
+    }
+
     /// The most futile line, if any.
     pub(crate) fn most_futile(&self) -> Option<u64> {
         let entry = if HIGH_IS_FUTILE {
@@ -78,6 +102,43 @@ impl<const HIGH_IS_FUTILE: bool> TreapPool<HIGH_IS_FUTILE> {
         };
         entry.map(|&(_, addr)| addr)
     }
+}
+
+/// Shared `save_state` for rankings whose whole state is one
+/// [`TreapPool`] per pool: one named section holding the pool count and
+/// each pool in order.
+pub(crate) fn save_pools<const HIGH_IS_FUTILE: bool>(
+    name: &str,
+    pools: &[TreapPool<HIGH_IS_FUTILE>],
+    w: &mut SnapshotWriter,
+) {
+    w.begin(name);
+    w.usize(pools.len());
+    for p in pools {
+        p.save_state(w);
+    }
+    w.end();
+}
+
+/// Counterpart of [`save_pools`]: the engine composition fixes the pool
+/// count, so a count mismatch is a composition mismatch, not corruption.
+pub(crate) fn load_pools<const HIGH_IS_FUTILE: bool>(
+    name: &str,
+    pools: &mut [TreapPool<HIGH_IS_FUTILE>],
+    r: &mut SnapshotReader,
+) -> Result<(), SnapshotError> {
+    r.begin(name)?;
+    let n = r.usize()?;
+    if n != pools.len() {
+        return Err(SnapshotError::mismatch(format!(
+            "snapshot has {n} ranking pools, engine has {}",
+            pools.len()
+        )));
+    }
+    for p in pools.iter_mut() {
+        p.load_state(r)?;
+    }
+    r.end()
 }
 
 /// How many rank walks `batch_over_pools` keeps in flight at once.

@@ -9,7 +9,10 @@
 use crate::pool::{batch_over_pools, TreapPool};
 use cachesim::hashing::{IndexHash, LineHash};
 use cachesim::ostree::RankQuery;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, PartitionId};
+use cachesim::{
+    AccessMeta, Candidate, FutilityRanking, HitRecord, PartitionId, SnapshotError, SnapshotReader,
+    SnapshotWriter,
+};
 
 /// Random ranking with a deterministic per-line hash.
 #[derive(Debug)]
@@ -103,6 +106,38 @@ impl FutilityRanking for RandomRanking {
 
     fn pool_len(&self, part: PartitionId) -> usize {
         self.pools.get(part.index()).map_or(0, |p| p.len())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("random-ranking");
+        w.u64(self.seed);
+        w.usize(self.pools.len());
+        for p in &self.pools {
+            p.save_state(w);
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("random-ranking")?;
+        let seed = r.u64()?;
+        if seed != self.seed {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot random ranking uses seed {seed:#x}, engine uses {:#x}",
+                self.seed
+            )));
+        }
+        let n = r.usize()?;
+        if n != self.pools.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {n} ranking pools, engine has {}",
+                self.pools.len()
+            )));
+        }
+        for p in &mut self.pools {
+            p.load_state(r)?;
+        }
+        r.end()
     }
 }
 

@@ -11,7 +11,10 @@
 
 use crate::pool::TreapPool;
 use cachesim::fxmap::FxHashMap;
-use cachesim::{AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId};
+use cachesim::{
+    AccessMeta, Candidate, FutilityRanking, HitRecord, HitRunAgg, PartitionId, SnapshotError,
+    SnapshotReader, SnapshotWriter,
+};
 
 /// Maximum RRPV for the default 2-bit configuration.
 const MAX_RRPV: u32 = 3;
@@ -200,6 +203,72 @@ impl FutilityRanking for Rrip {
 
     fn pool_len(&self, part: PartitionId) -> usize {
         self.pools.get(part.index()).map_or(0, |p| p.tags.len())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("rrip");
+        w.usize(self.pools.len());
+        for pool in &self.pools {
+            w.u64(pool.generation);
+            w.u64(pool.accesses);
+            let mut tags: Vec<(u64, u32, u64)> = pool
+                .tags
+                .iter()
+                .map(|(&a, &(rrpv, gen))| (a, rrpv, gen))
+                .collect();
+            tags.sort_unstable();
+            w.usize(tags.len());
+            for (addr, rrpv, gen) in tags {
+                w.u64(addr);
+                w.u32(rrpv);
+                w.u64(gen);
+            }
+            pool.shadow.save_state(w);
+        }
+        w.end();
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("rrip")?;
+        let n = r.usize()?;
+        if n != self.pools.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {n} ranking pools, engine has {}",
+                self.pools.len()
+            )));
+        }
+        for pool in &mut self.pools {
+            pool.generation = r.u64()?;
+            pool.accesses = r.u64()?;
+            let len = r.seq_len(20)?;
+            pool.tags = FxHashMap::default();
+            pool.tags.reserve(len);
+            let mut prev: Option<u64> = None;
+            for _ in 0..len {
+                let addr = r.u64()?;
+                if prev.is_some_and(|p| p >= addr) {
+                    return Err(SnapshotError::corrupt("rrip tags are not strictly sorted"));
+                }
+                prev = Some(addr);
+                let rrpv = r.u32()?;
+                let gen = r.u64()?;
+                if rrpv > MAX_RRPV || gen > pool.generation {
+                    return Err(SnapshotError::corrupt(format!(
+                        "rrip tag out of range: rrpv {rrpv}, generation {gen}"
+                    )));
+                }
+                pool.tags.insert(addr, (rrpv, gen));
+            }
+            pool.shadow.load_state(r)?;
+            if pool.shadow.len() != pool.tags.len() {
+                return Err(SnapshotError::corrupt(format!(
+                    "rrip shadow tracks {} lines but pool has {} tags",
+                    pool.shadow.len(),
+                    pool.tags.len()
+                )));
+            }
+        }
+        r.end()
     }
 }
 

@@ -15,7 +15,10 @@
 //!   insertion rate I_i)."
 
 use cachesim::prng::Prng;
-use cachesim::{AccessBlock, AccessMeta, Engine, PartitionId, Trace};
+use cachesim::{
+    AccessBlock, AccessMeta, Engine, PartitionId, SnapshotError, SnapshotReader, SnapshotWriter,
+    Trace,
+};
 
 /// One thread's replay cursor.
 struct Cursor {
@@ -138,6 +141,57 @@ impl RateControlledDriver {
         }
     }
 
+    /// Serialize the driver's replay state — per-trace cursor positions
+    /// and the sampling PRNG — into an open snapshot. The traces
+    /// themselves are *not* serialized: they are part of the experiment
+    /// configuration and must be rebuilt identically before a
+    /// [`load_state`](Self::load_state).
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.begin("rate-driver");
+        w.usize(self.cursors.len());
+        for c in &self.cursors {
+            w.usize(c.pos);
+        }
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.end();
+    }
+
+    /// Restore replay state saved by [`save_state`](Self::save_state)
+    /// into a driver rebuilt with the same traces and rates.
+    ///
+    /// # Errors
+    /// Fails with [`SnapshotError::Mismatch`] if the trace count
+    /// differs, and [`SnapshotError::Corrupt`] if a cursor position
+    /// lies beyond its trace.
+    pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.begin("rate-driver")?;
+        let n = r.usize()?;
+        if n != self.cursors.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot drives {n} traces, driver has {}",
+                self.cursors.len()
+            )));
+        }
+        for c in &mut self.cursors {
+            let pos = r.usize()?;
+            if pos > c.trace.len() {
+                return Err(SnapshotError::corrupt(format!(
+                    "cursor position {pos} beyond trace of {} accesses",
+                    c.trace.len()
+                )));
+            }
+            c.pos = pos;
+        }
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = r.u64()?;
+        }
+        self.rng = Prng::from_state(rng_state);
+        r.end()
+    }
+
     /// Drive the cache until `insertions` misses have been inserted (or
     /// some trace is exhausted). Each insertion belongs to partition `i`
     /// with probability `rates[i]`: the driver advances the chosen
@@ -245,5 +299,42 @@ mod tests {
     #[should_panic(expected = "sum to 1")]
     fn rejects_bad_rates() {
         let _ = RateControlledDriver::new(vec![Trace::new(), Trace::new()], vec![0.5, 0.6], 1);
+    }
+
+    #[test]
+    fn driver_checkpoint_resumes_bit_identically() {
+        let traces = || {
+            vec![
+                Trace::from_addrs((0..50_000u64).map(|i| i % 700), 1),
+                Trace::from_addrs((0..50_000u64).map(|i| 1_000_000 + i % 300), 1),
+            ]
+        };
+        // Uninterrupted run: 3000 + 2000 insertions.
+        let mut c_full = cache(512, 2);
+        let mut d_full = RateControlledDriver::new(traces(), vec![0.7, 0.3], 42);
+        assert_eq!(d_full.run(&mut c_full, 3_000), 3_000);
+        // Checkpoint engine + driver at the 3000-insertion mark.
+        let engine_snap = c_full.snapshot();
+        let mut w = SnapshotWriter::new();
+        d_full.save_state(&mut w);
+        let driver_snap = w.finish();
+        d_full.run(&mut c_full, 2_000);
+
+        // Resume into freshly built equivalents.
+        let mut c_res = cache(512, 2);
+        let mut d_res = RateControlledDriver::new(traces(), vec![0.7, 0.3], 42);
+        c_res.restore(&engine_snap).unwrap();
+        let mut r = SnapshotReader::open(&driver_snap).unwrap();
+        d_res.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        d_res.run(&mut c_res, 2_000);
+
+        assert_eq!(c_full.snapshot(), c_res.snapshot());
+
+        // A driver rebuilt with a different trace count must refuse.
+        let mut d_bad =
+            RateControlledDriver::new(vec![Trace::from_addrs(0..10u64, 1)], vec![1.0], 42);
+        let mut r = SnapshotReader::open(&driver_snap).unwrap();
+        assert!(d_bad.load_state(&mut r).is_err());
     }
 }

@@ -178,6 +178,69 @@ fn warm_batched_access_never_allocates() {
     );
 }
 
+/// Checkpointing must not disturb the warm hot path: `snapshot()` is a
+/// read-only observer (its own output buffer is allocated off the
+/// access path), so every access pass *between* snapshots stays
+/// allocation-free. After a `restore()` the rebuilt structures re-reach
+/// their high-water marks within the usual warmup protocol and the path
+/// is allocation-free again — checkpoint/resume cannot make a steady
+/// state leak.
+#[test]
+fn warm_access_between_checkpoints_never_allocates() {
+    let wl = workload();
+    for (ranking, scheme) in [("lru", "fs-feedback"), ("rrip", "vantage")] {
+        let mut cache = PartitionedCache::new(
+            fs_bench::l2_array(LINES, 7),
+            fs_bench::futility_ranking(ranking),
+            fs_bench::scheme(scheme),
+            PARTS,
+        );
+        cache.stats_mut().sample_deviation = false;
+        let warm = |cache: &mut PartitionedCache| {
+            let mut consecutive_clean = 0;
+            for _ in 0..10 {
+                let before = ALLOCS.load(Ordering::Relaxed);
+                drive(cache, &wl);
+                if ALLOCS.load(Ordering::Relaxed) == before {
+                    consecutive_clean += 1;
+                    if consecutive_clean == 2 {
+                        return true;
+                    }
+                } else {
+                    consecutive_clean = 0;
+                }
+            }
+            false
+        };
+        assert!(
+            warm(&mut cache),
+            "{ranking}/{scheme}: never reached steady state"
+        );
+
+        // Checkpoint-enabled steady state: after each snapshot the
+        // engine must still produce allocation-free passes under the
+        // same two-consecutive-clean-passes protocol (rare late
+        // high-water-mark growth is tolerated exactly as in the plain
+        // tests above — a snapshot takes `&self` and cannot cause it).
+        let mut snap = Vec::new();
+        for round in 0..3 {
+            snap = cache.snapshot();
+            assert!(
+                warm(&mut cache),
+                "{ranking}/{scheme}: no steady state after checkpoint {round}"
+            );
+        }
+
+        // Restoring rebuilds component state (allocating is fine there);
+        // the access path must return to allocation-free afterwards.
+        cache.restore(&snap).expect("round-trip restore");
+        assert!(
+            warm(&mut cache),
+            "{ranking}/{scheme}: no steady state after restore"
+        );
+    }
+}
+
 #[test]
 fn stats_construction_is_cheap_and_histogram_lazy() {
     // Constructing stats for many partitions must be O(partitions)

@@ -1,0 +1,149 @@
+//! Snapshot decoding is total: *any* damaged input — truncated at an
+//! arbitrary offset, any single bit flipped, or a format-version bump —
+//! must make `restore` return a descriptive [`SnapshotError`], never
+//! panic, and never silently accept the state. Failures replay exactly
+//! via `TESTKIT_SEED` (the harness prints the seed with the shrunk
+//! counterexample).
+
+use futility_scaling::prelude::*;
+use testkit::{check, int_range, tk_assert, CaseResult};
+
+const PARTS: usize = 3;
+
+fn build(combo: usize, seed: u64) -> PartitionedCache {
+    let array: Box<dyn cachesim::array::CacheArray> = match combo % 3 {
+        0 => Box::new(SetAssociative::new(8, 4, LineHash::new(seed))),
+        1 => Box::new(ZCache::new(8, 4, 8, seed)),
+        _ => Box::new(RandomCandidates::new(32, 4, seed)),
+    };
+    let ranking: Box<dyn FutilityRanking> =
+        ranking::by_name(ranking::ALL_RANKINGS[combo % 6]).unwrap();
+    let scheme: Box<dyn PartitionScheme> = match combo % 4 {
+        0 => Box::new(FsFeedback::default_config()),
+        1 => Box::new(Vantage::default_config()),
+        2 => Box::new(Prism::default_config()),
+        _ => cachesim::evict_max_futility(),
+    };
+    let mut cache = PartitionedCache::new(array, ranking, scheme, PARTS);
+    cache.set_targets(&[16, 10, 6]);
+    cache
+}
+
+fn driven_snapshot(combo: usize) -> (PartitionedCache, Vec<u8>) {
+    let mut cache = build(combo, 7);
+    let mut x = 0x5EED_u64 | 1;
+    for _ in 0..400 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let part = PartitionId(((x >> 16) % PARTS as u64) as u16);
+        cache.access(part, (x >> 33) % 160, AccessMeta::default());
+    }
+    let snap = cache.snapshot();
+    (cache, snap)
+}
+
+/// Generated case: a composition, a damage kind, and where to damage.
+type CorruptionCase = ((usize, usize), (usize, usize));
+
+fn prop_damaged_snapshot_is_rejected(
+    ((combo, kind), (offset, bit)): &CorruptionCase,
+) -> CaseResult {
+    let (mut cache, snap) = driven_snapshot(*combo);
+    let mut bad = snap.clone();
+    match kind % 3 {
+        0 => bad.truncate(offset % snap.len()),
+        1 => bad[offset % snap.len()] ^= 1 << (bit % 8),
+        _ => {
+            // Unsupported future format version in the header.
+            bad[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        }
+    }
+    let err = match cache.restore(&bad) {
+        Err(e) => e,
+        Ok(()) => {
+            return Err(testkit::Failure::fail(format!(
+                "damaged snapshot accepted (kind {kind}, offset {offset}, bit {bit})"
+            )))
+        }
+    };
+    tk_assert!(
+        !err.to_string().is_empty(),
+        "error must describe the damage"
+    );
+    // A rejected restore leaves the engine officially unspecified, but
+    // the *pristine* bytes must still restore into a fresh engine: the
+    // failure is a property of the input, not lingering reader state.
+    let mut fresh = build(*combo, 7);
+    fresh
+        .restore(&snap)
+        .map_err(|e| testkit::Failure::fail(format!("pristine snapshot rejected: {e}")))?;
+    Ok(())
+}
+
+#[test]
+fn damaged_snapshots_are_rejected_without_panicking() {
+    check(
+        "damaged_snapshots_rejected",
+        &(
+            (int_range(0usize..24), int_range(0usize..3)),
+            (int_range(0usize..1 << 20), int_range(0usize..8)),
+        ),
+        prop_damaged_snapshot_is_rejected,
+    );
+}
+
+/// The same totality holds one container up: a checkpoint file (driver
+/// state + embedded engine image) rejects truncation and bit flips
+/// through `fs_bench::checkpoint::load`.
+#[test]
+fn damaged_checkpoint_files_are_rejected() {
+    use cachesim::Trace;
+    use workloads::RateControlledDriver;
+
+    let composition = || {
+        let cache = PartitionedCache::new(
+            Box::new(RandomCandidates::new(128, 8, 3)),
+            cachesim::naive_lru(),
+            cachesim::evict_max_futility(),
+            2,
+        );
+        let traces = vec![
+            Trace::from_addrs((0..20_000u64).map(|i| i % 500), 1),
+            Trace::from_addrs((0..20_000u64).map(|i| (1 << 20) | (i % 300)), 1),
+        ];
+        (cache, RateControlledDriver::new(traces, vec![0.5, 0.5], 9))
+    };
+    let (mut cache, mut driver) = composition();
+    driver.run(&mut cache, 2_000);
+    let file = fs_bench::checkpoint::save("exp", "p", &driver, &cache, 2_000);
+
+    check(
+        "damaged_checkpoints_rejected",
+        &(
+            (int_range(0usize..2), int_range(0usize..1 << 20)),
+            int_range(0usize..8),
+        ),
+        |&((kind, offset), bit)| {
+            let mut bad = file.clone();
+            match kind {
+                0 => bad.truncate(offset % file.len()),
+                _ => bad[offset % file.len()] ^= 1 << (bit % 8),
+            }
+            let (mut cache2, mut driver2) = composition();
+            match fs_bench::checkpoint::load(&bad, "exp", "p", &mut driver2, &mut cache2) {
+                Err(e) => {
+                    tk_assert!(!e.to_string().is_empty());
+                    Ok(())
+                }
+                Ok(_) => Err(testkit::Failure::fail(format!(
+                    "damaged checkpoint accepted (kind {kind}, offset {offset}, bit {bit})"
+                ))),
+            }
+        },
+    );
+
+    // And the pristine container still round-trips.
+    let (mut cache2, mut driver2) = composition();
+    let done = fs_bench::checkpoint::load(&file, "exp", "p", &mut driver2, &mut cache2).unwrap();
+    assert_eq!(done, 2_000);
+    assert_eq!(cache.snapshot(), cache2.snapshot());
+}
