@@ -221,12 +221,54 @@ fn validate(path: &str) {
                 "{path} OK: {} cells, geomean {g:.0} accesses/sec",
                 WORKLOADS.len() * ARRAYS.len() * ranking::ALL_RANKINGS.len() * SCHEMES.len()
             );
+            // Per-workload halves, so churn (miss-path) and resident
+            // (hit-path) throughput are visible separately in the CI
+            // log — a win on one half cannot mask the other.
+            for (workload, g, n) in half_geomeans(&text) {
+                println!("  {workload:8} half: {n} cells, geomean {g:.0} accesses/sec");
+            }
         }
         (m, g) => {
             eprintln!("{path} INVALID: {m} missing cells, geomean {g:?}");
             std::process::exit(1);
         }
     }
+}
+
+/// Per-workload-half geomeans recovered from an emitted file's cells
+/// without a JSON parser: every cell carries its workload tag and rate
+/// in one object, so splitting on the cell prefix yields one
+/// `(workload, accesses_per_sec)` pair per segment. Returns
+/// `(workload, geomean, cell_count)` per workload, in `WORKLOADS`
+/// order.
+fn half_geomeans(text: &str) -> Vec<(&'static str, f64, usize)> {
+    let mut acc: Vec<(&'static str, f64, usize)> =
+        WORKLOADS.iter().map(|w| (*w, 0.0f64, 0usize)).collect();
+    for seg in text.split("{\"workload\":\"").skip(1) {
+        let Some((workload, rest)) = seg.split_once('"') else {
+            continue;
+        };
+        let Some(aps) = rest.split("\"accesses_per_sec\":").nth(1).and_then(|s| {
+            let end = s.find('}')?;
+            s[..end].trim().parse::<f64>().ok()
+        }) else {
+            continue;
+        };
+        for slot in acc.iter_mut() {
+            if slot.0 == workload {
+                slot.1 += aps.ln();
+                slot.2 += 1;
+            }
+        }
+    }
+    for slot in acc.iter_mut() {
+        slot.1 = if slot.2 > 0 {
+            (slot.1 / slot.2 as f64).exp()
+        } else {
+            f64::NAN
+        };
+    }
+    acc
 }
 
 /// Extract `"geomean_accesses_per_sec": <f64>` and `"scale": "<name>"`
@@ -250,10 +292,13 @@ fn parse_summary(path: &str) -> (f64, String) {
 }
 
 /// Regression gate: compare a freshly emitted file against a committed
-/// baseline at the same scale; fail (exit 1) if the geomean dropped by
-/// more than 10%. A single-shot run is noisier than the interleaved A/B
-/// protocol in BENCHMARKS.md, so the tolerance is deliberately loose —
-/// this catches "accidentally made the engine 2× slower", not 3% drifts.
+/// baseline at the same scale; fail (exit 1) if the overall geomean —
+/// or either per-workload half — dropped by more than 10%. Gating the
+/// churn and resident halves separately keeps a large win on one half
+/// from masking a regression on the other. A single-shot run is noisier
+/// than the interleaved A/B protocol in EXPERIMENTS.md, so the
+/// tolerance is deliberately loose — this catches "accidentally made
+/// the engine 2× slower", not 3% drifts.
 fn compare_against(current: &str, baseline: &str) {
     let (cur, cur_scale) = parse_summary(current);
     let (base, base_scale) = parse_summary(baseline);
@@ -266,7 +311,29 @@ fn compare_against(current: &str, baseline: &str) {
         "{current} geomean {cur:.0} vs {baseline} geomean {base:.0} ({:+.1}%)",
         (ratio - 1.0) * 100.0
     );
-    if !ratio.is_finite() || ratio < 0.90 {
+    let mut regressed = !ratio.is_finite() || ratio < 0.90;
+    let cur_text =
+        std::fs::read_to_string(current).unwrap_or_else(|e| panic!("read {current}: {e}"));
+    let base_text =
+        std::fs::read_to_string(baseline).unwrap_or_else(|e| panic!("read {baseline}: {e}"));
+    for ((workload, c, cn), (_, b, bn)) in half_geomeans(&cur_text)
+        .into_iter()
+        .zip(half_geomeans(&base_text))
+    {
+        if cn == 0 || bn == 0 {
+            continue; // filtered halves carry no signal; the overall gate stands
+        }
+        let r = c / b;
+        println!(
+            "  {workload:8} half: {c:.0} vs {b:.0} ({:+.1}%)",
+            (r - 1.0) * 100.0
+        );
+        if !r.is_finite() || r < 0.90 {
+            eprintln!("REGRESSION: {workload}-half geomean dropped more than 10%");
+            regressed = true;
+        }
+    }
+    if regressed {
         eprintln!("REGRESSION: geomean dropped more than 10% vs the committed baseline");
         std::process::exit(1);
     }

@@ -11,6 +11,7 @@ use cachesim::array::{
     FullyAssociative, RandomCandidates, SetAssociative, SkewAssociative, ZCache,
 };
 use cachesim::hashing::LineHash;
+use cachesim::scheme_api::EvictMaxFutility;
 use cachesim::{Engine, EngineCore, FutilityRanking, PartitionScheme};
 use futility_core::{FeedbackConfig, FsFeedback};
 use ranking::{CoarseLru, ExactLru, Lfu, Opt, RandomRanking, Rrip};
@@ -144,12 +145,15 @@ pub fn futility_ranking(name: &str) -> Box<dyn FutilityRanking> {
 }
 
 /// Build an engine for one benchmark-grid cell, monomorphized over the
-/// array × ranking combination (30 concrete [`EngineCore`]s behind one
-/// object-safe [`Engine`]). The array geometry matches `bench_engine`'s
-/// grid: 16 candidate ways per array kind at the given line count. The
-/// scheme stays a trait object — no scheme hooks into the per-access hot
-/// path beyond `notify_hit`, which none override, so devirtualizing it
-/// buys nothing (DESIGN.md §10).
+/// array × ranking × scheme combination (90 concrete [`EngineCore`]s
+/// behind one object-safe [`Engine`]). The array geometry matches
+/// `bench_engine`'s grid: 16 candidate ways per array kind at the given
+/// line count. The scheme dimension is devirtualized for the two fast
+/// lanes the paper's experiments hammer — `"fs-feedback"` and
+/// `"unpartitioned"` — whose byte-lane capability checks and
+/// `notify_insert`/`notify_evict` hooks then inline to constants on the
+/// batched miss path; the remaining baselines stay trait objects to
+/// bound the instantiation count (DESIGN.md §10).
 ///
 /// Unknown ranking names fall back to the fully boxed
 /// [`PartitionedCache`](cachesim::PartitionedCache) composition;
@@ -163,45 +167,37 @@ pub fn engine_for(
     seed: u64,
     partitions: usize,
 ) -> Box<dyn Engine> {
+    macro_rules! with_scheme {
+        ($arr:expr, $rank:expr) => {
+            match scheme_name {
+                "unpartitioned" => {
+                    Box::new(EngineCore::new($arr, $rank, EvictMaxFutility, partitions))
+                        as Box<dyn Engine>
+                }
+                "fs-feedback" => Box::new(EngineCore::new(
+                    $arr,
+                    $rank,
+                    FsFeedback::new(FeedbackConfig::default()),
+                    partitions,
+                )),
+                _ => Box::new(EngineCore::new(
+                    $arr,
+                    $rank,
+                    scheme(scheme_name),
+                    partitions,
+                )),
+            }
+        };
+    }
     macro_rules! with_ranking {
         ($arr:expr) => {
             match ranking_name {
-                "lru" => Box::new(EngineCore::new(
-                    $arr,
-                    ExactLru::new(),
-                    scheme(scheme_name),
-                    partitions,
-                )) as Box<dyn Engine>,
-                "coarse-lru" => Box::new(EngineCore::new(
-                    $arr,
-                    CoarseLru::new(),
-                    scheme(scheme_name),
-                    partitions,
-                )),
-                "lfu" => Box::new(EngineCore::new(
-                    $arr,
-                    Lfu::new(),
-                    scheme(scheme_name),
-                    partitions,
-                )),
-                "opt" => Box::new(EngineCore::new(
-                    $arr,
-                    Opt::new(),
-                    scheme(scheme_name),
-                    partitions,
-                )),
-                "random" => Box::new(EngineCore::new(
-                    $arr,
-                    RandomRanking::new(0xFACE),
-                    scheme(scheme_name),
-                    partitions,
-                )),
-                "rrip" => Box::new(EngineCore::new(
-                    $arr,
-                    Rrip::new(),
-                    scheme(scheme_name),
-                    partitions,
-                )),
+                "lru" => with_scheme!($arr, ExactLru::new()),
+                "coarse-lru" => with_scheme!($arr, CoarseLru::new()),
+                "lfu" => with_scheme!($arr, Lfu::new()),
+                "opt" => with_scheme!($arr, Opt::new()),
+                "random" => with_scheme!($arr, RandomRanking::new(0xFACE)),
+                "rrip" => with_scheme!($arr, Rrip::new()),
                 other => Box::new(EngineCore::new(
                     Box::new($arr) as Box<dyn CacheArray>,
                     futility_ranking(other),
@@ -296,13 +292,23 @@ mod tests {
     #[test]
     fn engine_for_matches_boxed_composition() {
         use cachesim::{AccessBlock, AccessMeta, PartitionId, PartitionedCache};
-        for (arr, rank) in [("set-assoc", "lru"), ("zcache", "rrip")] {
-            let mut mono = engine_for(arr, rank, "pf", 256, 9, 2);
+        // One cell per scheme arm of the factory: boxed baseline,
+        // concrete fs-feedback and concrete unpartitioned (the latter
+        // two exercising the monomorphized byte lane where the ranking
+        // supports it).
+        for (arr, rank, sch) in [
+            ("set-assoc", "lru", "pf"),
+            ("zcache", "rrip", "fs-feedback"),
+            ("rand-cands", "coarse-lru", "fs-feedback"),
+            ("set-assoc", "coarse-lru", "unpartitioned"),
+        ] {
+            let mut mono = engine_for(arr, rank, sch, 256, 9, 2);
             let array: Box<dyn CacheArray> = match arr {
                 "set-assoc" => l2_array(256, 9),
+                "rand-cands" => Box::new(RandomCandidates::new(256, 16, 9)),
                 _ => Box::new(ZCache::new(64, 4, 16, 9)),
             };
-            let mut boxed = PartitionedCache::new(array, futility_ranking(rank), scheme("pf"), 2);
+            let mut boxed = PartitionedCache::new(array, futility_ranking(rank), scheme(sch), 2);
             let mut block = AccessBlock::new();
             let mut x = 3u64;
             for _ in 0..4000 {
@@ -317,13 +323,17 @@ mod tests {
             for i in 0..block.len() {
                 boxed.access(block.parts()[i], block.addrs()[i], block.metas()[i]);
             }
-            assert_eq!(hits, boxed.stats().total_hits(), "{arr}/{rank}");
+            assert_eq!(hits, boxed.stats().total_hits(), "{arr}/{rank}/{sch}");
             assert_eq!(
                 mono.stats().total_misses(),
                 boxed.stats().total_misses(),
-                "{arr}/{rank}"
+                "{arr}/{rank}/{sch}"
             );
-            assert_eq!(mono.state().actual, boxed.state().actual, "{arr}/{rank}");
+            assert_eq!(
+                mono.state().actual,
+                boxed.state().actual,
+                "{arr}/{rank}/{sch}"
+            );
         }
     }
 }

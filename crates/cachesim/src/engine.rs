@@ -15,11 +15,20 @@
 //! runs of consecutive hits through one bulk
 //! [`on_hit_batch`](crate::ranking_api::FutilityRanking::on_hit_batch)
 //! ranking call — which treap-backed rankings deduplicate per line —
-//! while misses fall back to the exact scalar replacement path. For
-//! arrays that opt in (`CacheArray::wants_lookup_prefetch`), it also
-//! keeps the index lookups of up to 16 upcoming accesses prefetched
-//! ahead of the dependent probes (mirroring `OsTreap`'s interleaved
-//! rank walks); no current array does — see the measurement note in
+//! and gathers runs of consecutive *certain misses* (addresses probed
+//! absent and not installed earlier in the run) so their replacement
+//! decisions execute back to back with the residency probes hoisted
+//! out. Replacement itself takes the byte lane where the composition
+//! supports it: hardware-futility rankings
+//! ([`futility_bytes`](crate::ranking_api::FutilityRanking::futility_bytes))
+//! hand raw `u8`-range numerators to byte-capable schemes
+//! ([`victim_from_bytes`](crate::scheme_api::PartitionScheme::victim_from_bytes)),
+//! which pick the victim with a SWAR argmax ([`crate::swar`]) instead
+//! of materializing `f64` futilities. For arrays that opt in
+//! (`CacheArray::wants_lookup_prefetch`), the pipeline also keeps the
+//! index lookups of up to 16 upcoming accesses prefetched ahead of the
+//! dependent probes (mirroring `OsTreap`'s interleaved rank walks); no
+//! current array does — see the measurement note in
 //! `array/set_assoc.rs`. The two entry points are bit-for-bit
 //! equivalent.
 
@@ -146,6 +155,11 @@ impl AccessBlock {
 /// latency, few enough to not thrash L1.
 const LOOKAHEAD: usize = 16;
 
+/// Cap on a gathered certain-miss run. Bounds the O(run²) duplicate
+/// membership scan and keeps the hoisted residency probes within the
+/// same window the lookup prefetcher covers.
+const MISS_RUN: usize = 16;
+
 /// A partitioned shared cache: array + futility ranking + scheme,
 /// monomorphized over the three component types.
 ///
@@ -190,6 +204,8 @@ pub struct EngineCore<A, R, S> {
     time: u64,
     partitions: usize,
     cands: Vec<Candidate>,
+    /// Byte-lane scratch: raw futility numerators, one per candidate.
+    fut_raw: Vec<u16>,
     decision: VictimDecision,
     /// Deferred consecutive-hit run of the batched pipeline, flushed
     /// into one `on_hit_batch` ranking call at run boundaries.
@@ -241,6 +257,7 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> 
             time: 0,
             partitions,
             cands: Vec::with_capacity(64),
+            fut_raw: Vec::with_capacity(64),
             decision: VictimDecision::default(),
             hit_run: Vec::new(),
             recorder: None,
@@ -421,7 +438,8 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> 
         // both hooks are opt-in, checked once per batch.
         let collect_hits = self.ranking.wants_hit_records();
         let prefetch = self.array.wants_lookup_prefetch();
-        for i in 0..n {
+        let mut i = 0usize;
+        while i < n {
             // Keep up to LOOKAHEAD lookup hints in flight. The hint is
             // issued before the dependent lookup chain below, so by the
             // time access `i + LOOKAHEAD` is processed the index lines
@@ -458,6 +476,7 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> 
                     if RECORD {
                         outcomes.push(AccessOutcome::Hit);
                     }
+                    i += 1;
                 }
                 Some((slot, occ)) => {
                     // Foreign hit: the scheme may retag, which touches
@@ -476,15 +495,46 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> 
                     if RECORD {
                         outcomes.push(AccessOutcome::Hit);
                     }
+                    i += 1;
                 }
                 None => {
                     // Replacement decisions read ranking state: the
                     // deferred hits must land first.
                     self.flush_hit_run();
+                    // Certain-miss run gathering: scan ahead while the
+                    // upcoming addresses are (a) absent from the array
+                    // *now* and (b) not installed by an earlier access
+                    // of this run. Evictions only remove lines and the
+                    // run only installs its own addresses, so every
+                    // gathered access is still guaranteed to miss when
+                    // its turn comes — its re-probe is the only thing
+                    // skipped, and the replacement decisions execute
+                    // back to back in original order, bit-identically.
+                    // The gather probes themselves are independent
+                    // lookups with no replacement work interleaved, so
+                    // they overlap in the memory pipeline instead of
+                    // serializing behind each miss's candidate walk.
+                    let mut j = i + 1;
+                    while j < n && j - i < MISS_RUN {
+                        let a = addrs[j];
+                        if addrs[i..j].contains(&a) || self.array.lookup_occupant(a).is_some() {
+                            break;
+                        }
+                        j += 1;
+                    }
                     let out = self.miss_path(part, addr, meta);
                     if RECORD {
                         outcomes.push(out);
                     }
+                    for k in (i + 1)..j {
+                        debug_assert!(parts[k].index() < self.partitions, "foreign pool access");
+                        self.time += 1;
+                        let out = self.miss_path(parts[k], addrs[k], metas[k]);
+                        if RECORD {
+                            outcomes.push(out);
+                        }
+                    }
+                    i = j;
                 }
             }
         }
@@ -569,6 +619,38 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> 
             return AccessOutcome::Miss { evicted: None };
         }
         debug_assert!(!self.cands.is_empty(), "array returned no candidates");
+
+        // Byte lane: when the ranking exposes raw hardware-futility
+        // numerators and the scheme can pick victims from them, the
+        // whole f64 futility materialization and the scalar victim scan
+        // collapse into one integer SWAR argmax. Bit-exact (same victim
+        // index, including ties) by the `futility_bytes` /
+        // `victim_from_bytes` contracts; byte-capable schemes never
+        // retag, so the retag loop is skipped whole. Both capability
+        // checks are constants after monomorphization.
+        if self.scheme.wants_futility_bytes()
+            && self.ranking.futility_bytes(&self.cands, &mut self.fut_raw)
+        {
+            debug_assert_eq!(self.fut_raw.len(), self.cands.len());
+            let v = self
+                .scheme
+                .victim_from_bytes(part, &self.cands, &self.fut_raw, &self.state);
+            debug_assert!(v < self.cands.len());
+            let victim = self.cands[v];
+            // Byte-lane rankings are approximate (their futility is the
+            // hardware estimate), so eviction stats take the shadow
+            // rank, exactly as the scalar path below does.
+            let futility = self.ranking.true_futility(victim.part, victim.addr);
+            self.evict(victim.slot, victim.part, victim.addr, futility);
+            self.install(victim.slot, dest_pool, addr, meta);
+            return AccessOutcome::Miss {
+                evicted: Some(Eviction {
+                    addr: victim.addr,
+                    part: victim.part,
+                    futility,
+                }),
+            };
+        }
 
         self.ranking.futility_batch(&mut self.cands);
 
@@ -879,6 +961,7 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> 
         // it so a restore into a mid-lifetime engine leaves nothing
         // stale behind.
         self.cands.clear();
+        self.fut_raw.clear();
         self.hit_run.clear();
         self.decision = VictimDecision::default();
         Ok(())

@@ -43,6 +43,7 @@ pub mod recorder;
 pub mod scheme_api;
 pub mod snapshot;
 pub mod stats;
+pub mod swar;
 pub mod trace;
 pub mod umon;
 

@@ -170,6 +170,25 @@ pub trait FutilityRanking: Send {
         }
     }
 
+    /// Fill `out` with one raw *hardware-futility numerator* per
+    /// candidate (in candidate order) and return `true`, or return
+    /// `false` (leaving `out` unspecified) if this ranking has no byte
+    /// lane — the default. Implementations must guarantee a
+    /// ranking-wide power-of-two denominator `D ≤ 256` such that for
+    /// every candidate `futility(c) == out[i] as f64 / D` *exactly*
+    /// (untracked lines report 0) with `out[i] ≤ 255`. Because the
+    /// numerators and any power-of-two scaling up to `2^7` are exactly
+    /// representable in `f64`, integer comparison of (shifted)
+    /// numerators coincides with the scalar `f64` futility comparison —
+    /// including ties — which is what lets byte-capable schemes
+    /// ([`PartitionScheme::victim_from_bytes`](crate::scheme_api::PartitionScheme::victim_from_bytes))
+    /// pick victims with a SWAR argmax while staying bit-exact. As with
+    /// [`futility_batch`](Self::futility_batch), `&mut self` only
+    /// licenses scratch reuse, never observable state changes.
+    fn futility_bytes(&mut self, _cands: &[Candidate], _out: &mut Vec<u16>) -> bool {
+        false
+    }
+
     /// Whether [`futility`](Self::futility) already equals
     /// [`true_futility`](Self::true_futility) (no approximation). Exact
     /// rankings return `true`, letting the engine reuse the victim's
@@ -241,6 +260,9 @@ impl<T: FutilityRanking + ?Sized> FutilityRanking for Box<T> {
     }
     fn futility_batch(&mut self, cands: &mut [Candidate]) {
         (**self).futility_batch(cands)
+    }
+    fn futility_bytes(&mut self, cands: &[Candidate], out: &mut Vec<u16>) -> bool {
+        (**self).futility_bytes(cands, out)
     }
     fn futility_is_exact(&self) -> bool {
         (**self).futility_is_exact()

@@ -243,6 +243,35 @@ pub trait PartitionScheme: Send {
         false
     }
 
+    /// Whether this scheme can pick victims from raw hardware-futility
+    /// numerators via [`victim_from_bytes`](Self::victim_from_bytes).
+    /// Must be constant for the lifetime of the scheme; the engine
+    /// checks it (plus
+    /// [`FutilityRanking::futility_bytes`](crate::ranking_api::FutilityRanking::futility_bytes))
+    /// once per miss and otherwise keeps the `f64`
+    /// [`victim_into`](Self::victim_into) path.
+    fn wants_futility_bytes(&self) -> bool {
+        false
+    }
+
+    /// Byte-lane victim selection: choose the victim index from the raw
+    /// futility numerators `raw` (one per candidate, as produced by
+    /// [`FutilityRanking::futility_bytes`](crate::ranking_api::FutilityRanking::futility_bytes)).
+    /// Called only when [`wants_futility_bytes`](Self::wants_futility_bytes)
+    /// is `true`; must return exactly the index [`victim_into`](Self::victim_into)
+    /// would pick on the corresponding `f64` futilities — including
+    /// tie-breaks — and implies an empty retag list (schemes that retag
+    /// must not opt in).
+    fn victim_from_bytes(
+        &mut self,
+        _incoming: PartitionId,
+        _cands: &[Candidate],
+        _raw: &[u16],
+        _state: &PartitionState,
+    ) -> usize {
+        unreachable!("victim_from_bytes called on a scheme without byte-lane support")
+    }
+
     /// Push the scheme's current internal control variables (scaling
     /// factors, apertures, shift widths, fallback rates, …) into `out`
     /// for an attached [`Recorder`](crate::recorder::Recorder). Called
@@ -331,6 +360,18 @@ impl<T: PartitionScheme + ?Sized> PartitionScheme for Box<T> {
     fn wants_exact_ranking(&self) -> bool {
         (**self).wants_exact_ranking()
     }
+    fn wants_futility_bytes(&self) -> bool {
+        (**self).wants_futility_bytes()
+    }
+    fn victim_from_bytes(
+        &mut self,
+        incoming: PartitionId,
+        cands: &[Candidate],
+        raw: &[u16],
+        state: &PartitionState,
+    ) -> usize {
+        (**self).victim_from_bytes(incoming, cands, raw, state)
+    }
     fn telemetry(&self, state: &PartitionState, out: &mut Vec<Probe>) {
         (**self).telemetry(state, out)
     }
@@ -378,6 +419,23 @@ impl PartitionScheme for EvictMaxFutility {
         _state: &PartitionState,
     ) -> PartitionId {
         incoming
+    }
+
+    fn wants_futility_bytes(&self) -> bool {
+        true
+    }
+
+    fn victim_from_bytes(
+        &mut self,
+        _incoming: PartitionId,
+        _cands: &[Candidate],
+        raw: &[u16],
+        _state: &PartitionState,
+    ) -> usize {
+        // Unscaled max futility is exactly the raw-numerator argmax;
+        // the SWAR helper pins the same first-index tie-break as
+        // `argmax_futility`.
+        crate::swar::argmax_u15(raw)
     }
 }
 

@@ -63,6 +63,9 @@ struct Registers {
 pub struct FsFeedback {
     config: FeedbackConfig,
     regs: Vec<Registers>,
+    /// Byte-lane scratch: shifted raw futilities, one per candidate.
+    /// Never part of the observable state (not snapshotted).
+    scaled: Vec<u16>,
 }
 
 impl FsFeedback {
@@ -76,6 +79,7 @@ impl FsFeedback {
         FsFeedback {
             config,
             regs: Vec::new(),
+            scaled: Vec::new(),
         }
     }
 
@@ -156,6 +160,34 @@ impl PartitionScheme for FsFeedback {
             }
         }
         VictimDecision::evict(best)
+    }
+
+    fn wants_futility_bytes(&self) -> bool {
+        // The byte lane is exact only when scaling is the paper's
+        // hardware left shift: ratio bit-equal to 2 and the shift
+        // register small enough that `raw << shift ≤ 255 × 2^7` stays
+        // within the 15-bit SWAR lanes. Other ratios keep the f64 path.
+        self.config.ratio.to_bits() == 2.0f64.to_bits() && self.config.max_shift <= MAX_SHIFT_WIDTH
+    }
+
+    fn victim_from_bytes(
+        &mut self,
+        _incoming: PartitionId,
+        cands: &[Candidate],
+        raw: &[u16],
+        _state: &PartitionState,
+    ) -> usize {
+        // Integer form of `victim`: futility × 2^shift over a common
+        // power-of-two denominator is `raw << shift`, exactly
+        // representable on both sides, so the comparison (and the
+        // first-index tie-break) coincides with the scalar f64 loop.
+        let FsFeedback { regs, scaled, .. } = self;
+        scaled.clear();
+        for (c, &r) in cands.iter().zip(raw) {
+            let shift = regs.get(c.part.index()).map_or(0, |reg| reg.shift_width);
+            scaled.push(r << shift);
+        }
+        cachesim::swar::argmax_u15(scaled)
     }
 
     fn notify_insert(&mut self, part: PartitionId, state: &PartitionState) {

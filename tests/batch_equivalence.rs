@@ -184,6 +184,270 @@ fn batch_straddles_warmup_reset() {
     }
 }
 
+/// Drive `stream` through a scalar and a batched engine of the given
+/// grid cell (blocks of 64, so gathered miss runs cap out and block
+/// tails land mid-run) and require identical outcomes and statistics.
+fn assert_streams_match(
+    array_idx: usize,
+    ranking_idx: usize,
+    scheme_idx: usize,
+    stream: &[(PartitionId, u64)],
+) {
+    let ctx = format!("cell {array_idx}/{ranking_idx}/{scheme_idx}");
+    let mut scalar = build(array_idx, ranking_idx, scheme_idx, 7);
+    let mut batched = build(array_idx, ranking_idx, scheme_idx, 7);
+    let expect: Vec<AccessOutcome> = stream
+        .iter()
+        .map(|&(p, a)| scalar.access(p, a, AccessMeta::default()))
+        .collect();
+    let mut got = Vec::new();
+    let mut block = AccessBlock::new();
+    for chunk in stream.chunks(64) {
+        block.clear();
+        for &(p, a) in chunk {
+            block.push(p, a, AccessMeta::default());
+        }
+        batched.access_batch_into(&block, &mut got);
+    }
+    assert_eq!(got, expect, "{ctx}");
+    assert_eq!(batched.time(), scalar.time(), "{ctx}");
+    assert_eq!(batched.state().actual, scalar.state().actual, "{ctx}");
+    for p in 0..PARTS as u16 {
+        let (pa, pb) = (
+            scalar.stats().partition(PartitionId(p)),
+            batched.stats().partition(PartitionId(p)),
+        );
+        assert_eq!(pa.hits, pb.hits, "{ctx}");
+        assert_eq!(pa.misses, pb.misses, "{ctx}");
+        assert_eq!(pa.evictions, pb.evictions, "{ctx}");
+        assert!(
+            (pa.evict_futility_sum - pb.evict_futility_sum).abs() < 1e-12,
+            "{ctx}"
+        );
+    }
+}
+
+/// Miss-dominated blocks over the full grid: an address universe far
+/// larger than the 32-line caches keeps the certain-miss run gatherer
+/// (and, where the composition supports it, the byte-lane SWAR victim
+/// pick) engaged for essentially every access.
+#[test]
+fn miss_dominated_blocks_match_scalar_across_grid() {
+    for array_idx in 0..ARRAYS {
+        for ranking_idx in 0..RANKINGS {
+            for scheme_idx in 0..SCHEMES {
+                let stream: Vec<(PartitionId, u64)> = (0..400u64)
+                    .map(|i| {
+                        let p = PartitionId((i % PARTS as u64) as u16);
+                        (p, (i * 97) % 4096 + p.0 as u64 * 10_000)
+                    })
+                    .collect();
+                assert_streams_match(array_idx, ranking_idx, scheme_idx, &stream);
+            }
+        }
+    }
+}
+
+/// Alternating hit/miss blocks over the full grid: eight accesses to a
+/// small resident set, then eight churn accesses, so every block
+/// boundary flips between the deferred-hit-run and gathered-miss-run
+/// machinery (including runs cut short by an intervening hit).
+#[test]
+fn alternating_hit_miss_blocks_match_scalar_across_grid() {
+    for array_idx in 0..ARRAYS {
+        for ranking_idx in 0..RANKINGS {
+            for scheme_idx in 0..SCHEMES {
+                let stream: Vec<(PartitionId, u64)> = (0..400u64)
+                    .map(|i| {
+                        let p = PartitionId((i % PARTS as u64) as u16);
+                        let addr = if (i / 8) % 2 == 0 {
+                            (i % 8) + p.0 as u64 * 1_000
+                        } else {
+                            (i * 131) % 4096 + 20_000 + p.0 as u64 * 10_000
+                        };
+                        (p, addr)
+                    })
+                    .collect();
+                assert_streams_match(array_idx, ranking_idx, scheme_idx, &stream);
+            }
+        }
+    }
+}
+
+/// The SWAR argmax must agree with the scalar strict-`>` first-max scan
+/// on every input — the tie-breaking order is part of the contract, so
+/// narrow value ranges (forcing massed ties) are generated alongside
+/// full-range 15-bit values.
+#[test]
+fn swar_argmax_matches_scalar_reference() {
+    // testkit's `check` hands properties `&G::Output`, here `&Vec<u16>`.
+    #[allow(clippy::ptr_arg)]
+    fn prop(vals: &Vec<u16>) -> CaseResult {
+        tk_assert!(!vals.is_empty());
+        tk_assert_eq!(
+            cachesim::swar::argmax_u15(vals),
+            cachesim::swar::argmax_u15_scalar(vals)
+        );
+        Ok(())
+    }
+    check(
+        "swar_argmax_full_range",
+        &vec_of(int_range(0u16..0x8000), 1..80),
+        prop,
+    );
+    check(
+        "swar_argmax_heavy_ties",
+        &vec_of(int_range(0u16..4), 1..80),
+        prop,
+    );
+}
+
+/// Tie-breaking pinned bit-exactly: duplicated maxima must resolve to
+/// the lowest index wherever the duplicates fall relative to the packed
+/// 4-lane words.
+#[test]
+fn swar_argmax_tie_break_is_first_index() {
+    use cachesim::swar::argmax_u15;
+    assert_eq!(argmax_u15(&[5, 5, 5, 5, 5]), 0);
+    assert_eq!(argmax_u15(&[1, 9, 9]), 1);
+    assert_eq!(argmax_u15(&[0, 0, 0]), 0, "zero max must not hit padding");
+    for (a, b) in [(0, 3), (2, 4), (3, 7), (1, 8), (5, 13), (0, 15)] {
+        let mut vals = vec![2u16; 16];
+        vals[a] = 32640; // 255 << 7, the byte-lane maximum
+        vals[b] = 32640;
+        assert_eq!(argmax_u15(&vals), a, "dup at {a},{b}");
+    }
+}
+
+/// A scheme wrapper that hides the byte-lane capability, forcing the
+/// engine down the scalar f64 victim path while delegating everything
+/// else — the reference the byte lane is checked against.
+struct NoByteLane(Box<dyn PartitionScheme>);
+
+impl PartitionScheme for NoByteLane {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn extra_pools(&self) -> usize {
+        self.0.extra_pools()
+    }
+    fn configure(&mut self, state: &PartitionState) {
+        self.0.configure(state);
+    }
+    fn victim(
+        &mut self,
+        incoming: PartitionId,
+        cands: &[Candidate],
+        state: &PartitionState,
+    ) -> VictimDecision {
+        self.0.victim(incoming, cands, state)
+    }
+    fn victim_into(
+        &mut self,
+        incoming: PartitionId,
+        cands: &[Candidate],
+        state: &PartitionState,
+        out: &mut VictimDecision,
+    ) {
+        self.0.victim_into(incoming, cands, state, out);
+    }
+    fn victim_partition_fully_assoc(
+        &mut self,
+        incoming: PartitionId,
+        state: &PartitionState,
+    ) -> PartitionId {
+        self.0.victim_partition_fully_assoc(incoming, state)
+    }
+    fn notify_insert(&mut self, part: PartitionId, state: &PartitionState) {
+        self.0.notify_insert(part, state);
+    }
+    fn notify_evict(&mut self, part: PartitionId, state: &PartitionState) {
+        self.0.notify_evict(part, state);
+    }
+    fn notify_hit(&mut self, part: PartitionId) {
+        self.0.notify_hit(part);
+    }
+    fn insertion_pool(&self, incoming: PartitionId) -> PartitionId {
+        self.0.insertion_pool(incoming)
+    }
+    fn on_foreign_hit(
+        &mut self,
+        line_pool: PartitionId,
+        accessor: PartitionId,
+    ) -> Option<PartitionId> {
+        self.0.on_foreign_hit(line_pool, accessor)
+    }
+    fn wants_exact_ranking(&self) -> bool {
+        self.0.wants_exact_ranking()
+    }
+    fn telemetry(&self, state: &PartitionState, out: &mut Vec<cachesim::Probe>) {
+        self.0.telemetry(state, out);
+    }
+    fn save_state(&self, w: &mut cachesim::SnapshotWriter) {
+        self.0.save_state(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cachesim::SnapshotReader,
+    ) -> Result<(), cachesim::SnapshotError> {
+        self.0.load_state(r)
+    }
+    // wants_futility_bytes deliberately left at the default `false`.
+}
+
+/// The byte lane is bit-exact: for every byte-capable ranking × scheme
+/// pair, an engine taking the SWAR integer path must replay a
+/// churn-heavy stream identically (outcomes, statistics and final
+/// snapshot bytes) to one forced down the scalar f64 futility path.
+/// Scalar-vs-batch equivalence cannot see this — both sides of that
+/// comparison share `miss_path` — so this is the dedicated proof.
+#[test]
+fn byte_lane_matches_f64_path_bit_exactly() {
+    let schemes: [&dyn Fn() -> Box<dyn PartitionScheme>; 2] =
+        [&|| cachesim::evict_max_futility(), &|| {
+            Box::new(FsFeedback::default_config())
+        }];
+    for ranking_name in ["coarse-lru", "rrip"] {
+        for make_scheme in schemes {
+            let build_one = |scheme: Box<dyn PartitionScheme>| {
+                let mut c = PartitionedCache::new(
+                    Box::new(SetAssociative::new(8, 4, LineHash::new(7))),
+                    ranking::by_name(ranking_name).unwrap(),
+                    scheme,
+                    PARTS,
+                );
+                c.set_targets(&[16, 10, 6]);
+                c
+            };
+            let mut byte_lane = build_one(make_scheme());
+            let mut f64_path = build_one(Box::new(NoByteLane(make_scheme())));
+            let ctx = format!("{ranking_name}/{}", byte_lane.scheme().name());
+            assert!(
+                byte_lane.scheme().wants_futility_bytes(),
+                "{ctx}: byte lane not enabled"
+            );
+            assert!(!f64_path.scheme().wants_futility_bytes());
+            // Churn-heavy with periodic re-touches: evictions dominate
+            // (so victim selection runs constantly and feedback shift
+            // widths move) but ties and re-references still occur.
+            for i in 0..3_000u64 {
+                let p = PartitionId((i % PARTS as u64) as u16);
+                let addr = (i * 37) % 300 + p.0 as u64 * 10_000;
+                let a = byte_lane.access(p, addr, AccessMeta::default());
+                let b = f64_path.access(p, addr, AccessMeta::default());
+                assert_eq!(a, b, "{ctx}: access {i} diverged");
+            }
+            assert_eq!(
+                byte_lane.stats().total_hits(),
+                f64_path.stats().total_hits(),
+                "{ctx}"
+            );
+            assert_eq!(byte_lane.state().actual, f64_path.state().actual, "{ctx}");
+            assert_eq!(byte_lane.snapshot(), f64_path.snapshot(), "{ctx}");
+        }
+    }
+}
+
 /// With a recorder attached the batch path must produce the identical
 /// sample stream (it falls back to scalar feeding internally so the
 /// recorder observes every access).

@@ -178,6 +178,59 @@ fn warm_batched_access_never_allocates() {
     );
 }
 
+/// The batched *miss* path must reuse its scratch too: an
+/// overwhelming-miss trace (universe 64× the cache, so nearly every
+/// access gathers into a certain-miss run) must reach the same
+/// two-consecutive-clean-passes steady state. Cells are chosen to cover
+/// the run gatherer plus both byte-lane scratch buffers — the engine's
+/// raw-numerator vector (coarse-lru / rrip) and fs-feedback's shifted
+/// copy — alongside a treap-exact ranking whose miss path stays on the
+/// f64 lane.
+#[test]
+fn warm_batched_miss_runs_never_allocate() {
+    let mut rng = Prng::seed_from_u64(seed_for("no_alloc_miss_runs", 0));
+    let mut parts = Vec::with_capacity(ACCESSES);
+    let mut addrs = Vec::with_capacity(ACCESSES);
+    for _ in 0..ACCESSES {
+        let p: u16 = rng.gen_range(0..PARTS as u16);
+        parts.push(PartitionId(p));
+        addrs.push(p as u64 * 10_000_000 + rng.gen_range(0..64 * LINES as u64));
+    }
+    let metas = vec![AccessMeta::default(); ACCESSES];
+    let mut failures = Vec::new();
+    for (ranking, scheme) in [
+        ("coarse-lru", "fs-feedback"),
+        ("rrip", "unpartitioned"),
+        ("coarse-lru", "unpartitioned"),
+        ("rrip", "fs-feedback"),
+        ("lru", "fs-feedback"),
+    ] {
+        let mut cache = fs_bench::engine_for("set-assoc", ranking, scheme, LINES, 7, PARTS);
+        cache.stats_mut().sample_deviation = false;
+        let mut consecutive_clean = 0;
+        for _ in 0..10 {
+            let before = ALLOCS.load(Ordering::Relaxed);
+            cache.access_batch_slices(&parts, &addrs, &metas);
+            if ALLOCS.load(Ordering::Relaxed) == before {
+                consecutive_clean += 1;
+                if consecutive_clean == 2 {
+                    break;
+                }
+            } else {
+                consecutive_clean = 0;
+            }
+        }
+        if consecutive_clean < 2 {
+            failures.push(format!("{ranking}/{scheme}: never reached steady state"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "warm batched miss path allocated:\n{}",
+        failures.join("\n")
+    );
+}
+
 /// Checkpointing must not disturb the warm hot path: `snapshot()` is a
 /// read-only observer (its own output buffer is allocated off the
 /// access path), so every access pass *between* snapshots stays
