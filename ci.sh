@@ -40,6 +40,23 @@ cargo run --release --offline -q -p fs-bench --bin bench_engine -- --smoke --out
 cargo run --release --offline -q -p fs-bench --bin bench_engine -- --validate BENCH_engine.new.json --against BENCH_engine.json
 mv BENCH_engine.new.json BENCH_engine.json
 
+echo "== bench_sharded --smoke (oracle + jobs-invariance + throughput gates) =="
+# Sharded scale-out smoke: the sweep itself exits non-zero if any
+# fs-feedback cell's measured miss rate drifts from the Che/Fagin
+# oracle beyond the documented tolerance. The two deterministic
+# outputs (validation + merged time-series CSVs) must then be
+# byte-identical under a different worker count, and the throughput
+# trajectory is gated against the committed baseline like bench_engine.
+cargo run --release --offline -q -p fs-bench --bin bench_sharded -- --smoke --jobs 1 --out BENCH_sharded.new.json
+cp results/sharded_validation.csv results/sharded_validation.jobs1.csv
+cp results/sharded_timeseries.csv results/sharded_timeseries.jobs1.csv
+cargo run --release --offline -q -p fs-bench --bin bench_sharded -- --smoke --jobs 3 --out BENCH_sharded.jobs3.json
+cmp results/sharded_validation.csv results/sharded_validation.jobs1.csv
+cmp results/sharded_timeseries.csv results/sharded_timeseries.jobs1.csv
+rm results/sharded_validation.jobs1.csv results/sharded_timeseries.jobs1.csv BENCH_sharded.jobs3.json
+cargo run --release --offline -q -p fs-bench --bin bench_sharded -- --validate BENCH_sharded.new.json --against BENCH_sharded.json
+mv BENCH_sharded.new.json BENCH_sharded.json
+
 echo "== trace_dynamics --smoke =="
 # Flight-recorder smoke: the time-series observability path end to end
 # (recorder, scheme telemetry, CSV emission, ASCII rendering).

@@ -5,9 +5,11 @@
 //! CSV report rendering used by every experiment binary.
 
 pub mod cdf;
+pub mod oracle;
 pub mod report;
 pub mod stats;
 
 pub use cdf::{cdf_at, downsample_cdf, mean, DistributionSummary};
+pub use oracle::ZipfOracle;
 pub use report::{write_csv, Table};
 pub use stats::{ci95_halfwidth, geometric_mean, harmonic_mean, stddev};

@@ -1,0 +1,197 @@
+//! Closed-form LRU miss-rate oracle for Zipf(α) populations, after
+//! Che's approximation (Che, Tung & Wang 2002) as formalized by Fagin
+//! and applied to power-law CDN populations by Berthet (PAPERS.md).
+//!
+//! The model: an LRU cache of `C` lines serving independent-reference
+//! traffic over `n` items with popularities `q_k` behaves as if every
+//! item were evicted exactly `T` time units after its last reference,
+//! where the *characteristic time* `T` is the unique root of
+//!
+//! ```text
+//! Σ_k (1 − e^(−q_k · T)) = C
+//! ```
+//!
+//! (the expected number of distinct items referenced in a window of
+//! length `T` equals the cache size). Each item then hits with
+//! probability `1 − e^(−q_k T)`, so the traffic-weighted miss rate is
+//! `1 − Σ_k q_k (1 − e^(−q_k T))`. The approximation is asymptotically
+//! exact as `n → ∞` (Fagin) and is accurate to well under a percent at
+//! the sizes the sharded sweeps run (≥thousands of items); for a
+//! *uniform* population it degenerates to the exact `1 − C/n`.
+//!
+//! At ≥1M-line scales exact golden CSVs can't exist, so this oracle is
+//! the validation layer for `bench_sharded`: measured shard-merged miss
+//! rates must agree with [`ZipfOracle::miss_rate`] within a stated
+//! tolerance (DESIGN.md §12). Two idealizations bound how tight that
+//! tolerance can be: the engine's caches are finite-associativity (not
+//! true LRU — FS enforces partitions by scaled-futility eviction), and
+//! sharding splits each population hash-randomly across shards.
+//! Both effects are small and the sweep quantifies them.
+
+/// Analytic miss-rate model of an LRU cache serving one Zipf(α)
+/// population under the independent reference model.
+pub struct ZipfOracle {
+    /// Normalized popularities, descending: `q[k] ∝ (k+1)^−α`.
+    q: Vec<f64>,
+}
+
+impl ZipfOracle {
+    /// Oracle for `items` distinct items with Zipf exponent `alpha`
+    /// (`alpha == 0.0` is the uniform population).
+    ///
+    /// # Panics
+    /// Panics if `items == 0` or `alpha` is negative or non-finite.
+    pub fn new(items: usize, alpha: f64) -> Self {
+        assert!(items > 0, "need at least one item");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and >= 0"
+        );
+        let mut q: Vec<f64> = (0..items).map(|k| ((k + 1) as f64).powf(-alpha)).collect();
+        let h: f64 = q.iter().sum();
+        for w in &mut q {
+            *w /= h;
+        }
+        ZipfOracle { q }
+    }
+
+    /// Number of items in the population.
+    pub fn items(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Popularity of the `k`-th most popular item (0-based).
+    pub fn popularity(&self, k: usize) -> f64 {
+        self.q[k]
+    }
+
+    /// Expected number of distinct items referenced in a window of
+    /// length `t` (in accesses): `Σ_k (1 − e^(−q_k t))`.
+    fn distinct_in_window(&self, t: f64) -> f64 {
+        self.q.iter().map(|&qk| -(-qk * t).exp_m1()).sum()
+    }
+
+    /// Che's characteristic time for a cache of `cache_lines` lines:
+    /// the root of `distinct_in_window(T) = C`, found by bisection
+    /// (monotone in `T`, so the root is unique). Returns `f64::INFINITY`
+    /// when the cache holds the whole population.
+    pub fn characteristic_time(&self, cache_lines: usize) -> f64 {
+        let c = cache_lines as f64;
+        let n = self.q.len();
+        if cache_lines >= n {
+            return f64::INFINITY;
+        }
+        if cache_lines == 0 {
+            return 0.0;
+        }
+        // Bracket the root: distinct_in_window(0) = 0 < C, and the
+        // window sum approaches n > C, so doubling must cross it.
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        while self.distinct_in_window(hi) < c {
+            hi *= 2.0;
+            assert!(hi.is_finite(), "characteristic-time bracket diverged");
+        }
+        // ~100 halvings take the bracket to f64 resolution.
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if mid <= lo || mid >= hi {
+                break;
+            }
+            if self.distinct_in_window(mid) < c {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Per-item hit probability under the characteristic-time
+    /// approximation: `1 − e^(−q_k T)`.
+    pub fn hit_probability(&self, k: usize, cache_lines: usize) -> f64 {
+        let t = self.characteristic_time(cache_lines);
+        if t.is_infinite() {
+            return 1.0;
+        }
+        -(-self.q[k] * t).exp_m1()
+    }
+
+    /// Traffic-weighted analytic miss rate of an LRU cache of
+    /// `cache_lines` lines serving this population.
+    pub fn miss_rate(&self, cache_lines: usize) -> f64 {
+        let t = self.characteristic_time(cache_lines);
+        if t.is_infinite() {
+            return 0.0;
+        }
+        let hit: f64 = self.q.iter().map(|&qk| qk * -(-qk * t).exp_m1()).sum();
+        (1.0 - hit).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_population_is_exact() {
+        // α = 0: every window of length T references each item with the
+        // same probability, and the Che approximation collapses to the
+        // exact independent-reference result miss = 1 − C/n.
+        let o = ZipfOracle::new(1000, 0.0);
+        for c in [1usize, 10, 250, 500, 999] {
+            let expect = 1.0 - c as f64 / 1000.0;
+            assert!(
+                (o.miss_rate(c) - expect).abs() < 1e-6,
+                "C={c}: {} vs {expect}",
+                o.miss_rate(c)
+            );
+        }
+    }
+
+    #[test]
+    fn miss_rate_is_monotone_in_cache_size_and_bounded() {
+        let o = ZipfOracle::new(5000, 0.8);
+        let mut prev = 1.0;
+        for c in [0usize, 1, 10, 100, 1000, 2500, 4999, 5000, 6000] {
+            let m = o.miss_rate(c);
+            assert!((0.0..=1.0).contains(&m), "C={c}: {m}");
+            assert!(m <= prev + 1e-12, "C={c}: {m} > {prev}");
+            prev = m;
+        }
+        assert_eq!(o.miss_rate(0), 1.0);
+        assert_eq!(o.miss_rate(5000), 0.0);
+    }
+
+    #[test]
+    fn characteristic_time_solves_the_window_equation() {
+        let o = ZipfOracle::new(2000, 1.0);
+        for c in [50usize, 400, 1500] {
+            let t = o.characteristic_time(c);
+            let filled = o.distinct_in_window(t);
+            assert!((filled - c as f64).abs() < 1e-6, "C={c}: {filled}");
+        }
+    }
+
+    #[test]
+    fn skew_helps_hit_rate() {
+        // At equal cache size, a more skewed population must miss less:
+        // the cache keeps the heavy hitters.
+        let c = 500;
+        let m0 = ZipfOracle::new(10_000, 0.0).miss_rate(c);
+        let m8 = ZipfOracle::new(10_000, 0.8).miss_rate(c);
+        let m12 = ZipfOracle::new(10_000, 1.2).miss_rate(c);
+        assert!(m12 < m8 && m8 < m0, "{m12} < {m8} < {m0}");
+    }
+
+    #[test]
+    fn popularities_normalize_and_descend() {
+        let o = ZipfOracle::new(100, 0.7);
+        let sum: f64 = (0..100).map(|k| o.popularity(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for k in 1..100 {
+            assert!(o.popularity(k) <= o.popularity(k - 1));
+        }
+        assert_eq!(o.items(), 100);
+    }
+}

@@ -12,7 +12,7 @@ use cachesim::array::{
 };
 use cachesim::hashing::LineHash;
 use cachesim::scheme_api::EvictMaxFutility;
-use cachesim::{Engine, EngineCore, FutilityRanking, PartitionScheme};
+use cachesim::{Engine, EngineCore, FutilityRanking, PartitionScheme, ShardedEngine};
 use futility_core::{FeedbackConfig, FsFeedback};
 use ranking::{CoarseLru, ExactLru, Lfu, Opt, RandomRanking, Rrip};
 use std::path::{Path, PathBuf};
@@ -215,6 +215,64 @@ pub fn engine_for(
         "fully-assoc" => with_ranking!(FullyAssociative::new(lines)),
         other => panic!("unknown array {other}"),
     }
+}
+
+/// Build a [`ShardedEngine`] for a scale-out sweep cell: `shards`
+/// monomorphized cores (16-way set-associative array, coarse-LRU
+/// ranking *without* the exact-rank shadow — at ≥1M lines the
+/// per-pool shadow treaps would dominate memory and time, and the
+/// sharded sweeps read miss rates and MADs, not exact AEF), each over
+/// `total_lines / shards` lines. The scheme dimension keeps the
+/// `engine_for` fast lanes: `"fs-feedback"` and `"unpartitioned"` are
+/// scheme-concrete (byte-lane victim selection folds to constants),
+/// baselines stay boxed.
+///
+/// Per-shard array seeds derive from `seed` via
+/// [`seed_for`](cachesim::prng::seed_for) keyed by shard index, the
+/// same discipline as the experiment runner, so results never depend
+/// on worker scheduling.
+///
+/// # Panics
+/// Panics if `total_lines` is not divisible into 16-way shard arrays
+/// or the scheme name is unknown.
+pub fn sharded_engine_for(
+    scheme_name: &str,
+    total_lines: usize,
+    shards: usize,
+    partitions: usize,
+    seed: u64,
+) -> ShardedEngine {
+    assert!(shards > 0, "need at least one shard");
+    assert_eq!(
+        total_lines % (shards * 16),
+        0,
+        "total_lines must split into whole 16-way shard arrays"
+    );
+    let lines = total_lines / shards;
+    ShardedEngine::new(shards, partitions, |i| {
+        let shard_seed = cachesim::prng::seed_for("shard", seed ^ (i as u64) << 32);
+        let arr = SetAssociative::with_lines(lines, 16, LineHash::new(shard_seed));
+        match scheme_name {
+            "fs-feedback" => Box::new(EngineCore::new(
+                arr,
+                CoarseLru::without_exact_shadow(),
+                FsFeedback::new(FeedbackConfig::default()),
+                partitions,
+            )) as Box<dyn Engine>,
+            "unpartitioned" => Box::new(EngineCore::new(
+                arr,
+                CoarseLru::without_exact_shadow(),
+                EvictMaxFutility,
+                partitions,
+            )),
+            _ => Box::new(EngineCore::new(
+                Box::new(arr) as Box<dyn CacheArray>,
+                Box::new(CoarseLru::without_exact_shadow()) as Box<dyn FutilityRanking>,
+                scheme(scheme_name),
+                partitions,
+            )),
+        }
+    })
 }
 
 /// Directory where binaries drop CSV series; created on demand.

@@ -213,6 +213,10 @@ pub struct EngineCore<A, R, S> {
     /// Optional flight recorder, ticked after every access. `None` (the
     /// default) costs one branch per access and zero allocations.
     recorder: Option<Box<dyn Recorder>>,
+    /// Cap on a gathered certain-miss run ([`MISS_RUN`] by default;
+    /// 1 disables gathering). A pure perf knob — the replayed decisions
+    /// are bit-identical for any cap — kept out of snapshots.
+    miss_run_cap: usize,
 }
 
 /// The classic boxed composition: an [`EngineCore`] whose components
@@ -261,7 +265,17 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> 
             decision: VictimDecision::default(),
             hit_run: Vec::new(),
             recorder: None,
+            miss_run_cap: MISS_RUN,
         }
+    }
+
+    /// Set the certain-miss gather cap (clamped to at least 1; 1
+    /// disables gathering so every miss re-probes). Observable behavior
+    /// is identical for any cap — this knob exists for A/B-measuring
+    /// the gather optimisation (EXPERIMENTS.md) — so it is not part of
+    /// snapshots.
+    pub fn set_miss_run_cap(&mut self, cap: usize) {
+        self.miss_run_cap = cap.max(1);
     }
 
     /// Set per-partition targets (lines). Slices shorter than the
@@ -515,7 +529,7 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> 
                     // they overlap in the memory pipeline instead of
                     // serializing behind each miss's candidate walk.
                     let mut j = i + 1;
-                    while j < n && j - i < MISS_RUN {
+                    while j < n && j - i < self.miss_run_cap {
                         let a = addrs[j];
                         if addrs[i..j].contains(&a) || self.array.lookup_occupant(a).is_some() {
                             break;
@@ -1021,6 +1035,9 @@ pub trait Engine: Send {
     /// Mutable access to the attached [`TimeSeriesRecorder`], if any
     /// (e.g. to enable streaming spill or drain rows).
     fn timeseries_mut(&mut self) -> Option<&mut TimeSeriesRecorder>;
+    /// Set the certain-miss gather cap (see
+    /// [`EngineCore::set_miss_run_cap`]).
+    fn set_miss_run_cap(&mut self, cap: usize);
 }
 
 impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> Engine for EngineCore<A, R, S> {
@@ -1082,6 +1099,9 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> Engine for EngineCor
     }
     fn timeseries_mut(&mut self) -> Option<&mut TimeSeriesRecorder> {
         EngineCore::timeseries_mut(self)
+    }
+    fn set_miss_run_cap(&mut self, cap: usize) {
+        EngineCore::set_miss_run_cap(self, cap)
     }
 }
 

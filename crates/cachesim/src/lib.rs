@@ -41,6 +41,7 @@ pub mod prng;
 pub mod ranking_api;
 pub mod recorder;
 pub mod scheme_api;
+pub mod sharded;
 pub mod snapshot;
 pub mod stats;
 pub mod swar;
@@ -52,6 +53,7 @@ pub use ids::{AccessMeta, Occupant, PartitionId, SlotId, NO_NEXT_USE};
 pub use ranking_api::{FutilityRanking, HitRecord, HitRunAgg};
 pub use recorder::{RecordCtx, Recorder, Sample, TimeSeriesRecorder};
 pub use scheme_api::{Candidate, PartitionScheme, PartitionState, Probe, VictimDecision};
+pub use sharded::{shard_of, ShardedEngine};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::CacheStats;
 pub use trace::{Access, Trace};

@@ -335,6 +335,48 @@ impl CacheStats {
         self.parts.iter().map(|p| p.hits).sum()
     }
 
+    /// Fold another stats block (tracking the same number of pools)
+    /// into this one, pool by pool: counters, futility sums and
+    /// histograms add; deviation sampling folds `other`'s *effective*
+    /// sums (flushed + pending) into this block's flushed fields, so
+    /// the merged MAD / average occupancy are the sample-weighted
+    /// aggregates. Used by
+    /// [`ShardedEngine::merged_stats`](crate::ShardedEngine::merged_stats);
+    /// the result is a read-only aggregate — its lazy accounting is not
+    /// set up to take further live samples.
+    ///
+    /// # Panics
+    /// Panics if the pool counts differ.
+    pub fn merge_from(&mut self, other: &CacheStats) {
+        assert_eq!(
+            self.parts.len(),
+            other.parts.len(),
+            "cannot merge stats with different pool counts"
+        );
+        for idx in 0..self.parts.len() {
+            let (samples, abs_sum, occ_sum) = other.deviation_sums(idx);
+            let (d, s) = (&mut self.parts[idx], &other.parts[idx]);
+            d.hits += s.hits;
+            d.misses += s.misses;
+            d.evictions += s.evictions;
+            d.evict_futility_sum += s.evict_futility_sum;
+            if !s.evict_futility_hist.is_empty() {
+                if d.evict_futility_hist.is_empty() {
+                    d.evict_futility_hist = vec![0; FUTILITY_BINS];
+                }
+                for (db, &sb) in d.evict_futility_hist.iter_mut().zip(&s.evict_futility_hist) {
+                    *db += sb;
+                }
+            }
+            for (&k, &v) in &s.size_dev_hist {
+                *d.size_dev_hist.entry(k).or_insert(0) += v;
+            }
+            d.size_dev_samples += samples;
+            d.size_dev_abs_sum += abs_sum;
+            d.occupancy_sum += occ_sum;
+        }
+    }
+
     /// Serialize all statistics — counters, histograms, the lazy
     /// deviation-accounting fields and the reset generation — for
     /// checkpointing (DESIGN.md §11). Hash-backed histograms are
@@ -595,6 +637,47 @@ mod tests {
         let p = s.partition(PartitionId(0));
         assert_eq!(p.evict_futility_hist.len(), FUTILITY_BINS);
         assert_eq!(p.evict_futility_hist.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn merge_folds_counters_and_effective_deviation_sums() {
+        // Shard A: lazy accounting with pending (unflushed) samples;
+        // shard B: eager histogram accounting. The merge must see A's
+        // effective sums (incl. pending) and B's histogram.
+        let mut a = CacheStats::new(2);
+        a.record_hit(PartitionId(0));
+        a.record_miss(PartitionId(0));
+        a.record_eviction(PartitionId(0), 0.5);
+        a.update_occupancy(0, 12, 10);
+        a.sample_deviation_tick(&[12, 0], &[10, 0]);
+        a.sample_deviation_tick(&[12, 0], &[10, 0]);
+
+        let mut b = CacheStats::new(2);
+        b.deviation_histogram = true;
+        b.record_hit(PartitionId(1));
+        b.record_eviction(PartitionId(0), 1.0);
+        b.sample_deviations(&[9, 4], &[10, 4]);
+
+        let mut m = CacheStats::new(2);
+        m.merge_from(&a);
+        m.merge_from(&b);
+        assert_eq!(m.total_hits(), 2);
+        assert_eq!(m.total_misses(), 1);
+        let p0 = m.partition(PartitionId(0));
+        assert_eq!(p0.evictions, 2);
+        assert!((p0.aef() - 0.75).abs() < 1e-12);
+        // A contributes 2 samples at |dev|=2 (pending only), B one at 1.
+        assert_eq!(m.size_dev_samples(PartitionId(0)), 3);
+        assert!((m.size_mad(PartitionId(0)) - 5.0 / 3.0).abs() < 1e-12);
+        assert!((m.avg_occupancy(PartitionId(0)) - 11.0).abs() < 1e-12);
+        assert_eq!(m.partition(PartitionId(0)).size_dev_hist[&-1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different pool counts")]
+    fn merge_rejects_pool_count_mismatch() {
+        let mut a = CacheStats::new(2);
+        a.merge_from(&CacheStats::new(3));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod drivers;
 pub mod io;
 pub mod mix;
 pub mod patterns;
+pub mod populations;
 pub mod spec;
 pub mod zipf;
 
@@ -34,5 +35,6 @@ pub use drivers::{InterleavedDriver, RateControlledDriver};
 pub use io::{load_trace, parse_text_trace, save_trace};
 pub use mix::{UnknownBenchmark, WorkloadMix};
 pub use patterns::{Pattern, PatternSpec};
+pub use populations::{MultiZipf, PartitionPopulation};
 pub use spec::{benchmark, BenchmarkProfile, ALL_BENCHMARKS};
 pub use zipf::Zipf;

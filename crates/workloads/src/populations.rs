@@ -1,0 +1,263 @@
+//! Multi-population Zipf traffic for partitioned caches: each
+//! partition owns a disjoint item population (CDN / multi-tenant
+//! territory), sampled with its own Zipf skew and traffic weight.
+//!
+//! This is the workload the sharded scale-out sweeps (`bench_sharded`)
+//! drive: hundreds of partitions, millions of distinct lines, and a
+//! closed-form expected miss rate per partition from the Che
+//! approximation (`analysis::ZipfOracle`) — the validation layer at
+//! scales where exact golden CSVs can't exist.
+//!
+//! Addresses are `partition_base + rank` with partition bases spaced
+//! [`ADDR_STRIDE`] apart, so populations are disjoint by construction
+//! and rank `r` of partition `p` always maps to the same line — the
+//! independent-reference model the oracle assumes.
+
+use crate::Zipf;
+use cachesim::engine::AccessBlock;
+use cachesim::ids::{AccessMeta, PartitionId};
+use cachesim::prng::Prng;
+
+/// Address-space stride between partition populations (one partition's
+/// ranks never collide with another's below 2^40 items).
+pub const ADDR_STRIDE: u64 = 1 << 40;
+
+/// The line address of rank `rank` in partition `part`'s population.
+#[inline]
+pub fn addr_of(part: PartitionId, rank: usize) -> u64 {
+    (part.0 as u64) * ADDR_STRIDE + rank as u64
+}
+
+/// One partition's population spec.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionPopulation {
+    /// Number of distinct items (lines) the partition references.
+    pub items: usize,
+    /// Zipf exponent of the popularity distribution (0 = uniform).
+    pub alpha: f64,
+    /// Relative traffic weight (share of accesses; normalized).
+    pub weight: f64,
+}
+
+/// A deterministic access generator over disjoint per-partition Zipf
+/// populations: each access first draws a partition by traffic weight,
+/// then a rank from that partition's Zipf table.
+///
+/// Identical `(items, alpha)` populations share one cumulative table —
+/// a 512-partition uniform mix holds one table, not 512 copies.
+pub struct MultiZipf {
+    /// Table index per partition.
+    table_of: Vec<usize>,
+    tables: Vec<Zipf>,
+    /// Cumulative normalized traffic weights, one entry per partition.
+    cum_weight: Vec<f64>,
+}
+
+impl MultiZipf {
+    /// Build a generator from per-partition population specs (partition
+    /// `i` uses `pops[i]`).
+    ///
+    /// # Panics
+    /// Panics if `pops` is empty, has more than `u16::MAX + 1` entries
+    /// (the `PartitionId` space), a population exceeds [`ADDR_STRIDE`]
+    /// items, or the total weight is not positive and finite.
+    pub fn new(pops: &[PartitionPopulation]) -> Self {
+        assert!(!pops.is_empty(), "need at least one population");
+        assert!(
+            pops.len() <= u16::MAX as usize + 1,
+            "PartitionId space exceeded"
+        );
+        let mut tables: Vec<Zipf> = Vec::new();
+        let mut keys: Vec<(usize, u64)> = Vec::new();
+        let mut table_of = Vec::with_capacity(pops.len());
+        let mut cum_weight = Vec::with_capacity(pops.len());
+        let mut acc = 0.0;
+        for p in pops {
+            assert!(
+                (p.items as u64) <= ADDR_STRIDE,
+                "population exceeds the per-partition address stride"
+            );
+            assert!(
+                p.weight >= 0.0 && p.weight.is_finite(),
+                "bad traffic weight"
+            );
+            let key = (p.items, p.alpha.to_bits());
+            let idx = match keys.iter().position(|&(n, a)| (n, a) == key) {
+                Some(i) => i,
+                None => {
+                    keys.push(key);
+                    tables.push(Zipf::new(p.items, p.alpha));
+                    tables.len() - 1
+                }
+            };
+            table_of.push(idx);
+            acc += p.weight;
+            cum_weight.push(acc);
+        }
+        assert!(
+            acc > 0.0 && acc.is_finite(),
+            "total traffic weight must be positive"
+        );
+        for c in &mut cum_weight {
+            *c /= acc;
+        }
+        MultiZipf {
+            table_of,
+            tables,
+            cum_weight,
+        }
+    }
+
+    /// An equal-weight mix of `partitions` identical Zipf populations
+    /// (`items` items each, exponent `alpha`) — the symmetric sweep
+    /// configuration.
+    pub fn uniform_mix(partitions: usize, items: usize, alpha: f64) -> Self {
+        let pop = PartitionPopulation {
+            items,
+            alpha,
+            weight: 1.0,
+        };
+        Self::new(&vec![pop; partitions])
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.table_of.len()
+    }
+
+    /// Number of distinct items partition `part` references.
+    pub fn items(&self, part: PartitionId) -> usize {
+        self.tables[self.table_of[part.index()]].len()
+    }
+
+    /// Total distinct lines across all partitions.
+    pub fn footprint(&self) -> u64 {
+        self.table_of
+            .iter()
+            .map(|&t| self.tables[t].len() as u64)
+            .sum()
+    }
+
+    /// Draw one access: a partition by traffic weight, then a line of
+    /// its population by popularity.
+    pub fn sample(&self, rng: &mut Prng) -> (PartitionId, u64) {
+        let x = rng.next_f64();
+        let i = match self
+            .cum_weight
+            .binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cum_weight.len() - 1),
+        };
+        let part = PartitionId(i as u16);
+        let rank = self.tables[self.table_of[i]].sample(rng);
+        (part, addr_of(part, rank))
+    }
+
+    /// Append `n` sampled accesses to `block`.
+    pub fn fill(&self, block: &mut AccessBlock, n: usize, rng: &mut Prng) {
+        for _ in 0..n {
+            let (part, addr) = self.sample(rng);
+            block.push(part, addr, AccessMeta::default());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populations_are_disjoint_and_in_range() {
+        let m = MultiZipf::uniform_mix(8, 100, 0.8);
+        let mut rng = Prng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let (part, addr) = m.sample(&mut rng);
+            assert!(part.index() < 8);
+            assert_eq!(addr / ADDR_STRIDE, part.0 as u64);
+            assert!((addr % ADDR_STRIDE) < 100);
+        }
+        assert_eq!(m.partitions(), 8);
+        assert_eq!(m.footprint(), 800);
+        assert_eq!(m.items(PartitionId(5)), 100);
+    }
+
+    #[test]
+    fn traffic_follows_weights() {
+        let m = MultiZipf::new(&[
+            PartitionPopulation {
+                items: 10,
+                alpha: 0.0,
+                weight: 3.0,
+            },
+            PartitionPopulation {
+                items: 10,
+                alpha: 0.0,
+                weight: 1.0,
+            },
+        ]);
+        let mut rng = Prng::seed_from_u64(4);
+        let mut counts = [0u32; 2];
+        for _ in 0..100_000 {
+            counts[m.sample(&mut rng).0.index()] += 1;
+        }
+        let share = counts[0] as f64 / 100_000.0;
+        assert!((share - 0.75).abs() < 0.01, "{share}");
+    }
+
+    #[test]
+    fn identical_populations_share_tables() {
+        let m = MultiZipf::uniform_mix(512, 1000, 0.8);
+        assert_eq!(m.tables.len(), 1);
+        let mixed = MultiZipf::new(&[
+            PartitionPopulation {
+                items: 50,
+                alpha: 0.8,
+                weight: 1.0,
+            },
+            PartitionPopulation {
+                items: 60,
+                alpha: 0.8,
+                weight: 1.0,
+            },
+            PartitionPopulation {
+                items: 50,
+                alpha: 0.8,
+                weight: 2.0,
+            },
+        ]);
+        assert_eq!(mixed.tables.len(), 2);
+    }
+
+    #[test]
+    fn fill_is_deterministic_in_the_seed() {
+        let m = MultiZipf::uniform_mix(4, 200, 1.0);
+        let mut a = AccessBlock::new();
+        let mut b = AccessBlock::new();
+        m.fill(&mut a, 500, &mut Prng::seed_from_u64(11));
+        m.fill(&mut b, 500, &mut Prng::seed_from_u64(11));
+        assert_eq!(a.addrs(), b.addrs());
+        assert_eq!(a.parts(), b.parts());
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_oracle_popularities() {
+        // The generator and the analytic oracle must describe the same
+        // distribution: empirical rank frequencies vs ZipfOracle
+        // popularities. (Keeps workloads and analysis from drifting.)
+        let m = MultiZipf::uniform_mix(1, 50, 1.0);
+        let oracle = analysis::ZipfOracle::new(50, 1.0);
+        let mut rng = Prng::seed_from_u64(5);
+        let n = 200_000;
+        let mut counts = [0u32; 50];
+        for _ in 0..n {
+            counts[(m.sample(&mut rng).1 % ADDR_STRIDE) as usize] += 1;
+        }
+        for k in [0usize, 1, 5, 20, 49] {
+            let emp = counts[k] as f64 / n as f64;
+            let q = oracle.popularity(k);
+            assert!((emp - q).abs() < 0.01 + q * 0.1, "rank {k}: {emp} vs {q}");
+        }
+    }
+}

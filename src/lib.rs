@@ -62,7 +62,8 @@ pub mod prelude {
     pub use cachesim::hashing::{H3Hash, LineHash, ModuloIndex, XorFold};
     pub use cachesim::{
         AccessBlock, AccessMeta, AccessOutcome, Candidate, Engine, EngineCore, FutilityRanking,
-        PartitionId, PartitionScheme, PartitionState, PartitionedCache, Trace, VictimDecision,
+        PartitionId, PartitionScheme, PartitionState, PartitionedCache, ShardedEngine, Trace,
+        VictimDecision,
     };
     pub use futility_core::{FeedbackConfig, FsAnalytic, FsFeedback};
     pub use ranking::{CoarseLru, ExactLru, Lfu, Opt, RandomRanking, Rrip};

@@ -329,3 +329,50 @@ fn stats_construction_is_cheap_and_histogram_lazy() {
         "later evictions reuse the allocated histogram"
     );
 }
+
+/// The sharded sequential path (jobs = 1) must be as allocation-free
+/// as a single core once warm (DESIGN.md §12): the splitter reuses its
+/// per-shard scratch blocks after they reach capacity, and each shard
+/// is the same monomorphized core the batched test above checks. Only
+/// the merge (`merged_stats` / `merged_recorder_rows`) may allocate,
+/// so it stays outside the counted region.
+#[test]
+fn warm_sharded_split_loop_never_allocates() {
+    use cachesim::AccessBlock;
+
+    const SHARDS: usize = 4;
+    let wl = workload();
+    let mut blocks = Vec::new();
+    let mut cur = AccessBlock::new();
+    for i in 0..ACCESSES {
+        cur.push(PartitionId(wl.0[i]), wl.1[i], AccessMeta::default());
+        if cur.len() == 512 {
+            blocks.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        blocks.push(cur);
+    }
+
+    let mut engine = fs_bench::sharded_engine_for("fs-feedback", LINES, SHARDS, PARTS, 7);
+    engine.set_sample_deviation(false);
+    let mut consecutive_clean = 0;
+    for _ in 0..10 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for b in &blocks {
+            engine.access_batch(b);
+        }
+        if ALLOCS.load(Ordering::Relaxed) == before {
+            consecutive_clean += 1;
+            if consecutive_clean == 2 {
+                break;
+            }
+        } else {
+            consecutive_clean = 0;
+        }
+    }
+    assert!(
+        consecutive_clean >= 2,
+        "warm sharded split loop allocated (never reached steady state)"
+    );
+}

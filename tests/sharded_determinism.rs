@@ -1,0 +1,227 @@
+//! The sharded engine's determinism contract (DESIGN.md §12): every
+//! observable output — merged statistics, merged flight-recorder rows,
+//! and the per-shard snapshot bytes inside `ShardedEngine::snapshot()`
+//! — must be byte-identical for any `--jobs` worker count (1, 2, all
+//! shards) and independent of the order in which shards complete
+//! their sub-blocks. Shards own disjoint address sets and the merge is
+//! shard-keyed, so the only way these can differ is a bug in the
+//! splitter, the worker pool, or the merge.
+
+use cachesim::shard_of;
+use futility_scaling::prelude::*;
+use testkit::{check, int_range, tk_assert, vec_of, CaseResult};
+
+const PARTS: usize = 4;
+const SHARDS: usize = 4;
+/// Total lines across all shards (small enough to churn constantly).
+const LINES: usize = 4 * 256;
+
+fn build(record: bool) -> ShardedEngine {
+    let mut e = fs_bench::sharded_engine_for("fs-feedback", LINES, SHARDS, PARTS, 0xC0FFEE);
+    if record {
+        e.attach_timeseries(64, 256);
+    }
+    e
+}
+
+/// Map a generated `(part, base)` pair to a partition-namespaced
+/// address with some cross-partition overlap (every 5th address is
+/// shared, so foreign hits and retags occur).
+fn addr_of(p: u16, base: u64) -> (PartitionId, u64) {
+    let part = PartitionId(p % PARTS as u16);
+    let addr = if base.is_multiple_of(5) {
+        base
+    } else {
+        base + part.0 as u64 * 10_000
+    };
+    (part, addr)
+}
+
+fn blocks_of(accesses: &[(u16, u64)], sizes: &[usize]) -> Vec<AccessBlock> {
+    let mut out = Vec::new();
+    let mut cur = AccessBlock::new();
+    let mut sizes = sizes.iter().cycle();
+    let mut cap = *sizes.next().unwrap();
+    for &(p, base) in accesses {
+        let (part, addr) = addr_of(p, base);
+        cur.push(part, addr, AccessMeta::default());
+        if cur.len() >= cap.max(1) {
+            out.push(std::mem::take(&mut cur));
+            cap = *sizes.next().unwrap();
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drive `blocks` through a replica at the given job count, returning
+/// `(total hits, snapshot bytes, merged recorder rows)`.
+fn run_jobs(blocks: &[AccessBlock], jobs: usize, record: bool) -> (u64, Vec<u8>, Vec<Vec<String>>) {
+    let mut e = build(record);
+    e.set_jobs(jobs);
+    let hits: u64 = blocks.iter().map(|b| e.access_batch(b)).sum();
+    (hits, e.snapshot(), e.merged_recorder_rows())
+}
+
+/// Drive `blocks` by splitting each one manually and applying the
+/// sub-blocks to the shards in *reverse* shard order — a sequential
+/// stand-in for the most adversarial completion order the worker pool
+/// could produce.
+fn run_reversed(blocks: &[AccessBlock], record: bool) -> (u64, Vec<u8>, Vec<Vec<String>>) {
+    let mut e = build(record);
+    let mut hits = 0u64;
+    for block in blocks {
+        let subs: Vec<AccessBlock> = e.split(block).to_vec();
+        for s in (0..SHARDS).rev() {
+            if !subs[s].is_empty() {
+                hits += e.shard_mut(s).access_batch(&subs[s]);
+            }
+        }
+    }
+    (hits, e.snapshot(), e.merged_recorder_rows())
+}
+
+/// Generated case: an access stream, a block-size schedule, and
+/// whether flight recorders are attached (recorders force the
+/// per-shard scalar path, so both per-shard pipelines are covered).
+type Case = ((Vec<(u16, u64)>, Vec<usize>), u8);
+
+fn prop_jobs_and_completion_order_invisible(((accesses, sizes), record): &Case) -> CaseResult {
+    let record = *record == 1;
+    let blocks = blocks_of(accesses, sizes);
+    let (h1, snap1, rows1) = run_jobs(&blocks, 1, record);
+    let (h2, snap2, rows2) = run_jobs(&blocks, 2, record);
+    let (hn, snapn, rowsn) = run_jobs(&blocks, SHARDS, record);
+    let (hr, snapr, rowsr) = run_reversed(&blocks, record);
+
+    tk_assert!(h1 == h2, "hits: jobs=1 vs jobs=2 ({h1} vs {h2})");
+    tk_assert!(h1 == hn, "hits: jobs=1 vs jobs=N ({h1} vs {hn})");
+    tk_assert!(
+        h1 == hr,
+        "hits: jobs=1 vs reversed completion ({h1} vs {hr})"
+    );
+    tk_assert!(snap1 == snap2, "snapshot bytes: jobs=1 vs jobs=2");
+    tk_assert!(snap1 == snapn, "snapshot bytes: jobs=1 vs jobs=N");
+    tk_assert!(snap1 == snapr, "snapshot bytes: jobs=1 vs reversed");
+    tk_assert!(rows1 == rows2, "recorder rows: jobs=1 vs jobs=2");
+    tk_assert!(rows1 == rowsn, "recorder rows: jobs=1 vs jobs=N");
+    tk_assert!(rows1 == rowsr, "recorder rows: jobs=1 vs reversed");
+    Ok(())
+}
+
+/// Sanity: with recorders attached and enough traffic to pass each
+/// shard's cadence, the merged rows are non-empty and shard-keyed (so
+/// the property above isn't comparing empty vectors).
+#[test]
+fn recorder_rows_are_produced_and_shard_keyed() {
+    let accesses: Vec<(u16, u64)> = (0..20_000u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+            ((x % 13) as u16, x % 2_048)
+        })
+        .collect();
+    let blocks = blocks_of(&accesses, &[256]);
+    let (_, _, rows) = run_jobs(&blocks, SHARDS, true);
+    assert!(!rows.is_empty());
+    for row in &rows {
+        let shard: usize = row[0].parse().expect("shard column");
+        assert!(shard < SHARDS, "{row:?}");
+    }
+}
+
+#[test]
+fn jobs_and_completion_order_are_unobservable() {
+    let gen = (
+        (
+            vec_of((int_range(0u16..8), int_range(0u64..2_000)), 1..1_500),
+            vec_of(int_range(1usize..200), 1..6),
+        ),
+        int_range(0u8..2),
+    );
+    check(
+        "sharded_jobs_invariance",
+        &gen,
+        prop_jobs_and_completion_order_invisible,
+    );
+}
+
+/// Merged statistics agree field-by-field across job counts (the
+/// snapshot comparison above covers per-shard stats bit-exactly; this
+/// pins the *merge* itself, including the lazy deviation sums).
+#[test]
+fn merged_stats_are_jobs_invariant() {
+    let accesses: Vec<(u16, u64)> = (0..40_000u64)
+        .map(|i| {
+            let x = i.wrapping_mul(6364136223846793005).wrapping_add(17);
+            ((x % 97) as u16, (x >> 16) % 3_000)
+        })
+        .collect();
+    let blocks = blocks_of(&accesses, &[300]);
+    let stats: Vec<_> = [1usize, 2, SHARDS]
+        .into_iter()
+        .map(|jobs| {
+            let mut e = build(false);
+            e.set_jobs(jobs);
+            for b in &blocks {
+                e.access_batch(b);
+            }
+            e.merged_stats()
+        })
+        .collect();
+    let base = &stats[0];
+    assert!(base.total_hits() > 0 && base.total_misses() > 0);
+    for other in &stats[1..] {
+        assert_eq!(base.total_hits(), other.total_hits());
+        assert_eq!(base.total_misses(), other.total_misses());
+        for p in 0..PARTS {
+            let id = PartitionId(p as u16);
+            let (a, b) = (base.partition(id), other.partition(id));
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.misses, b.misses);
+            assert_eq!(a.evictions, b.evictions);
+            assert_eq!(
+                a.evict_futility_sum.to_bits(),
+                b.evict_futility_sum.to_bits()
+            );
+            assert_eq!(base.size_mad(id).to_bits(), other.size_mad(id).to_bits());
+            assert_eq!(
+                base.avg_occupancy(id).to_bits(),
+                other.avg_occupancy(id).to_bits()
+            );
+            assert_eq!(base.size_dev_samples(id), other.size_dev_samples(id));
+        }
+    }
+}
+
+/// The splitter is a pure function of the address: the same trace
+/// split twice yields the same sub-blocks, each an in-order
+/// subsequence of the original owned by that shard.
+#[test]
+fn split_is_stable_and_order_preserving() {
+    let mut e = build(false);
+    let mut block = AccessBlock::new();
+    for i in 0..5_000u64 {
+        let x = i.wrapping_mul(0x9E3779B97F4A7C15);
+        let (part, addr) = addr_of((x % 11) as u16, x % 4_096);
+        block.push(part, addr, AccessMeta::default());
+    }
+    let first: Vec<AccessBlock> = e.split(&block).to_vec();
+    let second: Vec<AccessBlock> = e.split(&block).to_vec();
+    for s in 0..SHARDS {
+        assert_eq!(first[s].addrs(), second[s].addrs(), "shard {s}");
+        let expect: Vec<u64> = block
+            .addrs()
+            .iter()
+            .copied()
+            .filter(|&a| shard_of(SHARDS, a) == s)
+            .collect();
+        assert_eq!(first[s].addrs(), expect.as_slice(), "shard {s}");
+    }
+    assert_eq!(
+        first.iter().map(|b| b.len()).sum::<usize>(),
+        block.len(),
+        "no access may be lost or duplicated"
+    );
+}

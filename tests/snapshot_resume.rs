@@ -277,3 +277,70 @@ fn checkpoint_before_warmup_reset_replays() {
     let case: ResumeCase = ((raw, 25, 75), (3, 0, 3), vec![7]);
     prop_resume_matches_uninterrupted(&case).unwrap();
 }
+
+/// Sharded arm: a `ShardedEngine::snapshot()` (the versioned container
+/// of per-shard images) is a complete description of the whole sharded
+/// simulation. Run K blocks, snapshot, continue for M more — the
+/// restored replica must match hit-for-hit, with identical merged
+/// statistics, merged recorder rows, and final snapshot bytes.
+#[test]
+fn sharded_snapshot_resume_replays() {
+    const SHARDS: usize = 4;
+    const SH_PARTS: usize = 4;
+    let build_sharded = || {
+        let mut e = fs_bench::sharded_engine_for("fs-feedback", 1024, SHARDS, SH_PARTS, 0xBEEF);
+        e.attach_timeseries(64, 256);
+        e
+    };
+    let block_of = |seed: u64, n: usize| {
+        let mut b = AccessBlock::new();
+        let mut x = seed | 1;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            b.push(
+                PartitionId(((x >> 16) % SH_PARTS as u64) as u16),
+                (x >> 33) % 4_096,
+                AccessMeta::default(),
+            );
+        }
+        b
+    };
+
+    let mut donor = build_sharded();
+    for k in 0..6u64 {
+        donor.access_batch(&block_of(k * 7 + 1, 700));
+    }
+    let snap = donor.snapshot();
+
+    let mut resumed = build_sharded();
+    resumed.restore(&snap).expect("restore sharded snapshot");
+
+    for m in 0..4u64 {
+        let b = block_of(m * 11 + 100, 500);
+        assert_eq!(
+            donor.access_batch(&b),
+            resumed.access_batch(&b),
+            "block {m}"
+        );
+    }
+    let (ds, rs) = (donor.merged_stats(), resumed.merged_stats());
+    assert_eq!(ds.total_hits(), rs.total_hits());
+    assert_eq!(ds.total_misses(), rs.total_misses());
+    for p in 0..SH_PARTS {
+        let id = PartitionId(p as u16);
+        assert_eq!(ds.size_mad(id).to_bits(), rs.size_mad(id).to_bits());
+    }
+    assert_eq!(donor.merged_recorder_rows(), resumed.merged_recorder_rows());
+    assert_eq!(donor.snapshot(), resumed.snapshot());
+
+    // Composition checks: wrong shard count and wrong partition count
+    // both fail descriptively, and never panic.
+    let err = fs_bench::sharded_engine_for("fs-feedback", 1024, 2, SH_PARTS, 0xBEEF)
+        .restore(&snap)
+        .expect_err("shard-count mismatch must be rejected");
+    assert!(format!("{err}").contains("shards"), "{err}");
+    let err = fs_bench::sharded_engine_for("fs-feedback", 1024, SHARDS, 8, 0xBEEF)
+        .restore(&snap)
+        .expect_err("partition-count mismatch must be rejected");
+    assert!(format!("{err}").contains("partitions"), "{err}");
+}
