@@ -57,6 +57,27 @@ rm results/sharded_validation.jobs1.csv results/sharded_timeseries.jobs1.csv BEN
 cargo run --release --offline -q -p fs-bench --bin bench_sharded -- --validate BENCH_sharded.new.json --against BENCH_sharded.json
 mv BENCH_sharded.new.json BENCH_sharded.json
 
+echo "== tenancy_storm --smoke (QoS storm + golden hash + jobs-invariance gates) =="
+# Multi-tenant QoS smoke: the bin itself exits non-zero unless
+# fs-feedback holds the utility-re-solved targets tighter (pooled
+# storm-phase occupancy MAD) than both Vantage and PriSM, and unless
+# all three schemes saw the identical re-solve trajectory. The two
+# CSVs must then be byte-identical under a different worker count, and
+# both are pinned by golden content hashes — the closed loop (traffic,
+# re-solves, enforcement) is fully deterministic, so any diff is a
+# behavior change to re-pin deliberately.
+cargo run --release --offline -q -p fs-bench --bin tenancy_storm -- --smoke --jobs 1
+cp results/tenancy_storm.csv results/tenancy_storm.jobs1.csv
+cp results/tenancy_storm_resolves.csv results/tenancy_storm_resolves.jobs1.csv
+cargo run --release --offline -q -p fs-bench --bin tenancy_storm -- --smoke --jobs 3
+cmp results/tenancy_storm.csv results/tenancy_storm.jobs1.csv
+cmp results/tenancy_storm_resolves.csv results/tenancy_storm_resolves.jobs1.csv
+rm results/tenancy_storm.jobs1.csv results/tenancy_storm_resolves.jobs1.csv
+sha256sum -c - <<'GOLDEN'
+0a73f2d9009270fa8a3516ebe89648e754715bfa68d63910fb703ec1f6b087ab  results/tenancy_storm.csv
+ddb36dcde06cf81e09ab7e056540fbad4b6802a87dbc5c416f88dc734a953456  results/tenancy_storm_resolves.csv
+GOLDEN
+
 echo "== trace_dynamics --smoke =="
 # Flight-recorder smoke: the time-series observability path end to end
 # (recorder, scheme telemetry, CSV emission, ASCII rendering).

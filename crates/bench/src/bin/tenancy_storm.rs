@@ -1,0 +1,367 @@
+//! Allocation-storm comparison: the multi-tenant QoS closed loop
+//! (`tenancy` crate) drives the same re-solved target trajectory into
+//! FS-feedback, Vantage and PriSM engines while the tenant population
+//! goes through storms — a load-step, a departure, a re-arrival and a
+//! popularity drift — and measures how well each scheme's per-tenant
+//! occupancy *tracks* the moving targets (size MAD, lines).
+//!
+//! The comparison is exact by construction: the utility allocator
+//! observes the traffic, not the cache, so with identical pre-generated
+//! traffic every scheme receives the *identical* sequence of re-solved
+//! targets at the identical access indices (the binary asserts this).
+//! Any MAD difference is therefore purely enforcement quality — the
+//! paper's claim, exercised end-to-end through the QoS layer.
+//!
+//! Outputs (all deterministic; byte-identical for any `--jobs N`,
+//! cmp-gated by ci.sh):
+//! * `results/tenancy_storm.csv` — per scheme × phase × tenant: miss
+//!   ratio vs SLO, end-of-phase target, mean occupancy, size MAD.
+//! * `results/tenancy_storm_resolves.csv` — the shared re-solve log
+//!   (epoch, access index, per-tenant targets).
+//!
+//! Gate: pooled across the storm phases, FS-feedback's mean MAD must be
+//! below BOTH Vantage's and PriSM's, else exit(1).
+//!
+//! Usage: tenancy_storm [--smoke|--quick] [--jobs N]
+
+use cachesim::engine::AccessBlock;
+use cachesim::prng::{seed_for, Prng};
+use cachesim::PartitionId;
+use fs_bench::Scale;
+use std::time::Instant;
+use tenancy::{QosBuilder, TenancyDriver, TenantSpec, UmonConfig, UtilityAllocator};
+use workloads::{MultiZipf, PartitionPopulation};
+
+/// Schemes under comparison; FS first (the gated subject).
+const SCHEMES: [&str; 3] = ["fs-feedback", "vantage", "prism"];
+
+/// The tenant roster: name, Zipf exponent, footprint as a multiple of
+/// the cache (×100), and initial traffic weight.
+const TENANTS: [(&str, f64, usize, f64); 6] = [
+    ("frontend", 1.1, 100, 3.0),
+    ("api", 0.9, 75, 2.0),
+    ("batch", 0.7, 150, 1.5),
+    ("analytics", 1.0, 100, 1.0),
+    ("logging", 0.6, 200, 0.75),
+    ("best-effort", 0.8, 125, 0.75),
+];
+
+/// One storm op applied to the traffic generator between phases.
+enum StormOp {
+    /// Step tenant `.0`'s traffic weight to `.1` (0 = departure).
+    Weight(usize, f64),
+    /// Drift tenant `.0`'s popularity head by `.1` thousandths of its
+    /// population.
+    Drift(usize, usize),
+}
+
+/// The storm schedule: phase label + the ops applied at its start.
+/// Four allocation-storm events follow the baseline phase.
+fn phases() -> Vec<(&'static str, Vec<StormOp>)> {
+    vec![
+        ("baseline", vec![]),
+        ("load-step", vec![StormOp::Weight(0, 9.0)]),
+        ("departure", vec![StormOp::Weight(2, 0.0)]),
+        ("arrival", vec![StormOp::Weight(2, 4.5)]),
+        (
+            "drift",
+            vec![StormOp::Drift(1, 500), StormOp::Drift(3, 333)],
+        ),
+    ]
+}
+
+fn total_lines(scale: Scale) -> usize {
+    match scale {
+        Scale::Full => 1 << 18,
+        Scale::Quick => 1 << 16,
+        Scale::Smoke => 1 << 13,
+    }
+}
+
+fn shards(scale: Scale) -> usize {
+    match scale {
+        Scale::Full | Scale::Quick => 8,
+        Scale::Smoke => 4,
+    }
+}
+
+/// The compiled QoS everyone runs under: explicit shares for the four
+/// main tenants, floors/caps/priorities/SLOs mixed across the roster.
+fn qos(lines: usize) -> tenancy::CompiledQos {
+    QosBuilder::new()
+        .tenant(
+            TenantSpec::named(TENANTS[0].0)
+                .share(0.30)
+                .min_lines(lines / 8)
+                .priority(4.0)
+                .slo_miss_ratio(0.75),
+        )
+        .tenant(
+            TenantSpec::named(TENANTS[1].0)
+                .share(0.20)
+                .priority(2.0)
+                .slo_miss_ratio(0.85),
+        )
+        .tenant(
+            TenantSpec::named(TENANTS[2].0)
+                .share(0.15)
+                .max_lines(lines / 2),
+        )
+        .tenant(TenantSpec::named(TENANTS[3].0).share(0.15))
+        .tenant(
+            TenantSpec::named(TENANTS[4].0)
+                .max_lines(lines / 4)
+                .slo_miss_ratio(0.98),
+        )
+        .tenant(TenantSpec::named(TENANTS[5].0))
+        .compile(lines)
+        .expect("storm QoS compiles")
+}
+
+fn generator(lines: usize) -> MultiZipf {
+    let pops: Vec<PartitionPopulation> = TENANTS
+        .iter()
+        .map(|&(_, alpha, footprint_pct, weight)| PartitionPopulation {
+            items: lines * footprint_pct / 100,
+            alpha,
+            weight,
+        })
+        .collect();
+    MultiZipf::new(&pops)
+}
+
+/// Pre-generate one phase's traffic as ready-to-feed blocks.
+fn generate_blocks(gen: &MultiZipf, n: usize, rng: &mut Prng) -> Vec<AccessBlock> {
+    const BLOCK: usize = 1 << 14;
+    let mut blocks = Vec::with_capacity(n.div_ceil(BLOCK));
+    let mut left = n;
+    while left > 0 {
+        let take = left.min(BLOCK);
+        let mut b = AccessBlock::with_capacity(take);
+        gen.fill(&mut b, take, rng);
+        blocks.push(b);
+        left -= take;
+    }
+    blocks
+}
+
+fn fmt6(x: f64) -> String {
+    if x.is_nan() {
+        "nan".into()
+    } else {
+        format!("{x:.6}")
+    }
+}
+
+struct PhaseResult {
+    mad_mean: f64,
+    slo_violations: usize,
+    rows: Vec<Vec<String>>,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let jobs = fs_bench::cli_jobs();
+    let lines = total_lines(scale);
+    let n_tenants = TENANTS.len();
+    let granularity = lines / 64;
+    let cadence = (lines / 2) as u64;
+    let phase_accesses = 8 * lines;
+    let warm_accesses = 2 * lines;
+    let schedule = phases();
+
+    // Traffic is generated once, up front, so every scheme sees the
+    // same bytes: warm blocks, then per-phase blocks with the storm
+    // ops applied between phases.
+    let mut gen = generator(lines);
+    let mut rng = Prng::seed_from_u64(seed_for("tenancy_storm_trace", 0));
+    let warm_blocks = generate_blocks(&gen, warm_accesses, &mut rng);
+    let mut phase_blocks: Vec<Vec<AccessBlock>> = Vec::new();
+    for (_, ops) in &schedule {
+        for op in ops {
+            match *op {
+                StormOp::Weight(t, w) => gen.set_weight(PartitionId(t as u16), w),
+                StormOp::Drift(t, milli) => {
+                    let items = gen.items(PartitionId(t as u16));
+                    gen.set_drift(PartitionId(t as u16), items * milli / 1000);
+                }
+            }
+        }
+        phase_blocks.push(generate_blocks(&gen, phase_accesses, &mut rng));
+    }
+
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    // mads[scheme][phase]
+    let mut mads: Vec<Vec<f64>> = Vec::new();
+    let mut resolve_logs: Vec<Vec<tenancy::ResolveEvent>> = Vec::new();
+
+    for scheme in SCHEMES {
+        let q = qos(lines);
+        let alloc = UtilityAllocator::new(
+            q,
+            granularity,
+            UmonConfig {
+                sets: 64,
+                ways: 16,
+                sampling: 1,
+            },
+        );
+        let mut engine = fs_bench::sharded_engine_for(
+            scheme,
+            lines,
+            shards(scale),
+            n_tenants,
+            seed_for("tenancy_storm", 0),
+        );
+        engine.set_jobs(jobs);
+        let mut driver = TenancyDriver::new(engine, alloc, cadence);
+        driver.record_events(true);
+
+        let t0 = Instant::now();
+        for b in &warm_blocks {
+            driver.feed(b);
+        }
+        driver.engine_mut().reset_stats();
+
+        let mut scheme_mads = Vec::with_capacity(schedule.len());
+        for (pi, (label, _)) in schedule.iter().enumerate() {
+            let r = run_phase(&mut driver, scheme, pi, label, &phase_blocks[pi]);
+            println!(
+                "{scheme:>12} phase {pi} {label:<10} mad {:8.2} lines  slo violations {}",
+                r.mad_mean, r.slo_violations
+            );
+            scheme_mads.push(r.mad_mean);
+            csv_rows.extend(r.rows);
+        }
+        let fed: u64 = driver.accesses();
+        println!(
+            "{scheme:>12} done: {fed} accesses, {} re-solves, {:.0} acc/s",
+            driver.epochs(),
+            fed as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+        );
+        mads.push(scheme_mads);
+        resolve_logs.push(driver.events().to_vec());
+    }
+
+    // The allocation layer never looks at the cache, so the re-solve
+    // trajectory must be identical across schemes — the property that
+    // makes the MAD comparison pure enforcement quality.
+    for (si, log) in resolve_logs.iter().enumerate().skip(1) {
+        assert_eq!(
+            log, &resolve_logs[0],
+            "{} re-solved different targets than {}",
+            SCHEMES[si], SCHEMES[0]
+        );
+    }
+    let resolve_rows: Vec<Vec<String>> = resolve_logs[0]
+        .iter()
+        .flat_map(|e| {
+            e.targets.iter().enumerate().map(move |(t, &target)| {
+                vec![
+                    e.epoch.to_string(),
+                    e.at_access.to_string(),
+                    TENANTS[t].0.to_string(),
+                    target.to_string(),
+                ]
+            })
+        })
+        .collect();
+
+    fs_bench::save_csv(
+        "tenancy_storm",
+        &[
+            "scheme",
+            "phase",
+            "event",
+            "tenant",
+            "miss_ratio",
+            "slo",
+            "slo_violated",
+            "target",
+            "occupancy",
+            "size_mad",
+        ],
+        &csv_rows,
+    );
+    fs_bench::save_csv(
+        "tenancy_storm_resolves",
+        &["epoch", "at_access", "tenant", "target"],
+        &resolve_rows,
+    );
+
+    // The gate: pooled over the storm phases (everything after
+    // baseline), FS must track the moving targets tighter than both
+    // baselines.
+    let pooled = |si: usize| {
+        let storm = &mads[si][1..];
+        storm.iter().sum::<f64>() / storm.len() as f64
+    };
+    let (fs, vantage, prism) = (pooled(0), pooled(1), pooled(2));
+    println!(
+        "\nstorm-pooled MAD (lines): fs-feedback {fs:.2}  vantage {vantage:.2}  prism {prism:.2}"
+    );
+    for pi in 1..schedule.len() {
+        println!(
+            "  phase {pi} {:<10} fs {:8.2}  vantage {:8.2}  prism {:8.2}",
+            schedule[pi].0, mads[0][pi], mads[1][pi], mads[2][pi]
+        );
+    }
+    if !(fs < vantage && fs < prism) {
+        eprintln!(
+            "STORM GATE FAILED: fs-feedback MAD {fs:.2} must be below vantage {vantage:.2} and prism {prism:.2}"
+        );
+        std::process::exit(1);
+    }
+    println!("storm gate OK: fs-feedback holds the re-solved targets tighter than both baselines");
+}
+
+/// Feed one phase through the driver and read its per-tenant report:
+/// miss ratios vs SLO, end-of-phase targets, occupancy tracking.
+fn run_phase(
+    driver: &mut TenancyDriver,
+    scheme: &str,
+    pi: usize,
+    label: &str,
+    blocks: &[AccessBlock],
+) -> PhaseResult {
+    for b in blocks {
+        driver.feed(b);
+    }
+    let stats = driver.engine().merged_stats();
+    let targets = driver.targets().to_vec();
+    let qos = driver.allocator().qos().clone();
+    let mut rows = Vec::new();
+    let mut mad_sum = 0.0;
+    let mut mad_n = 0usize;
+    let mut slo_violations = 0usize;
+    for (t, &target) in targets.iter().enumerate() {
+        let part = PartitionId(t as u16);
+        let miss = stats.partition(part).miss_ratio();
+        let slo = qos.slo_miss_ratio(t);
+        let violated = slo.is_some_and(|s| miss > s);
+        slo_violations += usize::from(violated);
+        let mad = stats.size_mad(part);
+        if mad.is_finite() {
+            mad_sum += mad;
+            mad_n += 1;
+        }
+        rows.push(vec![
+            scheme.to_string(),
+            pi.to_string(),
+            label.to_string(),
+            qos.name(t).to_string(),
+            fmt6(miss),
+            slo.map_or("-".into(), fmt6),
+            u8::from(violated).to_string(),
+            target.to_string(),
+            fmt6(stats.avg_occupancy(part)),
+            fmt6(mad),
+        ]);
+    }
+    driver.engine_mut().reset_stats();
+    PhaseResult {
+        mad_mean: mad_sum / mad_n.max(1) as f64,
+        slo_violations,
+        rows,
+    }
+}

@@ -35,10 +35,17 @@ use crate::ids::{AccessMeta, PartitionId};
 use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::CacheStats;
 use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// A worker-pool job: one shard, its sub-block, and its result slot.
 type ShardJob<'a> = (&'a mut Box<dyn Engine>, &'a AccessBlock, &'a mut u64);
+
+/// The pool's shared state: the job list plus the slot holding the
+/// first captured panic payload (both under one mutex, so "first" is
+/// well defined).
+type PoolQueue<'a, 'b> = Mutex<(VecDeque<ShardJob<'a>>, &'b mut Option<PanicPayload>)>;
+type PanicPayload = Box<dyn std::any::Any + Send>;
 
 /// The shard owning `addr` among `num_shards` shards: a SplitMix64
 /// finalizer over the address, reduced modulo the shard count. Fixed
@@ -71,6 +78,11 @@ pub struct ShardedEngine {
     /// steady-state shard loop stays allocation-free
     /// (`tests/no_alloc_hot_path.rs`, sharded arm).
     blocks: Vec<AccessBlock>,
+    /// Scratch for [`set_targets`](Self::set_targets)' per-shard
+    /// division, reused so online re-solve loops pushing fresh targets
+    /// every epoch stay allocation-free (re-solve arm of
+    /// `tests/no_alloc_hot_path.rs`).
+    target_scratch: Vec<usize>,
 }
 
 impl ShardedEngine {
@@ -103,6 +115,7 @@ impl ShardedEngine {
             partitions,
             jobs: 1,
             blocks: (0..num_shards).map(|_| AccessBlock::new()).collect(),
+            target_scratch: Vec::new(),
         }
     }
 
@@ -156,12 +169,14 @@ impl ShardedEngine {
     pub fn set_targets(&mut self, targets: &[usize]) {
         assert!(targets.len() <= self.partitions, "too many targets");
         let s = self.shards.len();
-        let mut per = vec![0usize; targets.len()];
+        let per = &mut self.target_scratch;
+        per.clear();
+        per.resize(targets.len(), 0);
         for (i, shard) in self.shards.iter_mut().enumerate() {
             for (d, &t) in per.iter_mut().zip(targets) {
                 *d = t / s + usize::from(i < t % s);
             }
-            shard.set_targets(&per);
+            shard.set_targets(per);
         }
     }
 
@@ -216,11 +231,24 @@ impl ShardedEngine {
     /// pop `(shard, sub-block, result slot)` jobs from a shared queue,
     /// exactly like the experiment runner — results land in per-shard
     /// slots, so completion order is unobservable.
+    ///
+    /// Panic discipline: a shard panicking mid-batch must surface its
+    /// *own* payload to the caller. Each job runs under `catch_unwind`;
+    /// the first captured payload wins (stored under the job-queue
+    /// mutex, so "first" is well defined), the queue is drained so
+    /// sibling workers stop cleanly, and the payload is re-raised on
+    /// the caller's thread after the scope joins. Without this, the
+    /// scoped-thread join aborts the process / replaces the message
+    /// with an opaque "a scoped thread panicked" (and a worker dying
+    /// while queue-locked would poison siblings into a bare "shard
+    /// queue" panic) — masking the root cause. Pinned by
+    /// `worker_panic_surfaces_original_message`.
     fn run_parallel(&mut self) -> u64 {
         let jobs = self.jobs;
         let mut hit_slots = vec![0u64; self.shards.len()];
+        let mut first_panic = None;
         {
-            let queue: Mutex<VecDeque<ShardJob>> = Mutex::new(
+            let queue: PoolQueue = Mutex::new((
                 self.shards
                     .iter_mut()
                     .zip(&self.blocks)
@@ -228,19 +256,43 @@ impl ShardedEngine {
                     .filter(|((_, sub), _)| !sub.is_empty())
                     .map(|((e, b), h)| (e, b, h))
                     .collect(),
-            );
+                &mut first_panic,
+            ));
+            // A panicking job never holds the queue lock, but stay
+            // poison-tolerant anyway: the queue is a plain job list,
+            // consistent under any interleaving.
+            let pop = || {
+                queue
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0
+                    .pop_front()
+            };
             std::thread::scope(|s| {
                 for _ in 0..jobs {
-                    s.spawn(|| loop {
-                        let Some((engine, sub, hits)) =
-                            queue.lock().expect("shard queue").pop_front()
-                        else {
-                            return;
-                        };
-                        *hits = engine.access_batch(sub);
+                    s.spawn(|| {
+                        while let Some((engine, sub, hits)) = pop() {
+                            match panic::catch_unwind(AssertUnwindSafe(|| engine.access_batch(sub)))
+                            {
+                                Ok(h) => *hits = h,
+                                Err(payload) => {
+                                    let mut q = queue
+                                        .lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                    q.0.clear();
+                                    if q.1.is_none() {
+                                        *q.1 = Some(payload);
+                                    }
+                                    return;
+                                }
+                            }
+                        }
                     });
                 }
             });
+        }
+        if let Some(payload) = first_panic {
+            panic::resume_unwind(payload);
         }
         hit_slots.iter().sum()
     }
@@ -503,6 +555,115 @@ mod tests {
         // Remainder goes to the lowest-indexed shards.
         assert_eq!(e.shard(0).state().targets[0], 9);
         assert_eq!(e.shard(3).state().targets[0], 8);
+    }
+
+    /// An engine that panics on its first batch, delegating everything
+    /// else — the fault-injection vehicle for the worker-pool panic
+    /// contract.
+    struct PanicOnBatch {
+        inner: Box<dyn Engine>,
+        msg: &'static str,
+    }
+
+    impl Engine for PanicOnBatch {
+        fn access(&mut self, part: PartitionId, addr: u64, meta: AccessMeta) -> AccessOutcome {
+            self.inner.access(part, addr, meta)
+        }
+        fn access_batch(&mut self, _block: &AccessBlock) -> u64 {
+            panic!("{}", self.msg)
+        }
+        fn access_batch_into(
+            &mut self,
+            block: &AccessBlock,
+            outcomes: &mut Vec<AccessOutcome>,
+        ) -> u64 {
+            self.inner.access_batch_into(block, outcomes)
+        }
+        fn access_batch_slices(
+            &mut self,
+            parts: &[PartitionId],
+            addrs: &[u64],
+            metas: &[AccessMeta],
+        ) -> u64 {
+            self.inner.access_batch_slices(parts, addrs, metas)
+        }
+        fn set_targets(&mut self, targets: &[usize]) {
+            self.inner.set_targets(targets)
+        }
+        fn partitions(&self) -> usize {
+            self.inner.partitions()
+        }
+        fn stats(&self) -> &CacheStats {
+            self.inner.stats()
+        }
+        fn stats_mut(&mut self) -> &mut CacheStats {
+            self.inner.stats_mut()
+        }
+        fn state(&self) -> &crate::scheme_api::PartitionState {
+            self.inner.state()
+        }
+        fn time(&self) -> u64 {
+            self.inner.time()
+        }
+        fn array(&self) -> &dyn crate::array::CacheArray {
+            self.inner.array()
+        }
+        fn ranking(&self) -> &dyn crate::ranking_api::FutilityRanking {
+            self.inner.ranking()
+        }
+        fn scheme(&self) -> &dyn crate::scheme_api::PartitionScheme {
+            self.inner.scheme()
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            self.inner.snapshot()
+        }
+        fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+            self.inner.restore(bytes)
+        }
+        fn attach_timeseries(&mut self, cadence: u64, capacity: usize) {
+            self.inner.attach_timeseries(cadence, capacity)
+        }
+        fn timeseries(&self) -> Option<&crate::TimeSeriesRecorder> {
+            self.inner.timeseries()
+        }
+        fn timeseries_mut(&mut self) -> Option<&mut crate::TimeSeriesRecorder> {
+            self.inner.timeseries_mut()
+        }
+        fn set_miss_run_cap(&mut self, cap: usize) {
+            self.inner.set_miss_run_cap(cap)
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_original_message() {
+        // Regression: a panicking shard worker used to take the whole
+        // pool down with an opaque secondary panic (scoped-join
+        // "a scoped thread panicked" / poisoned "shard queue"),
+        // masking the root cause. The pool must re-raise the *first
+        // worker's own payload* on the calling thread.
+        const MSG: &str = "injected shard failure: shard 2 ate a bad line";
+        let mut e = ShardedEngine::new(4, 2, |i| {
+            if i == 2 {
+                Box::new(PanicOnBatch {
+                    inner: shard_factory(i),
+                    msg: MSG,
+                })
+            } else {
+                shard_factory(i)
+            }
+        });
+        e.set_jobs(4);
+        let blk = block(2000, 21); // large enough to hit every shard
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.access_batch(&blk);
+        }))
+        .expect_err("injected panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string payload>".into());
+        assert_eq!(msg, MSG, "original panic payload must surface verbatim");
     }
 
     #[test]

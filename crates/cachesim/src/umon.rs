@@ -98,24 +98,55 @@ impl Umon {
         true
     }
 
+    /// Whether this monitor has observed nothing (no sampled access)
+    /// since construction or the last [`reset_counters`](Self::reset_counters).
+    /// A cold monitor has no information: its hit curve is flat zero
+    /// and a miss-ratio curve would be undefined (0/0). Allocators must
+    /// check this before reading curves — see
+    /// [`miss_ratio_curve`](Self::miss_ratio_curve).
+    pub fn is_cold(&self) -> bool {
+        self.observed == 0
+    }
+
     /// Cumulative hit counts at 0, 1, …, `ways` ways (length
     /// `ways + 1`, starting at 0). Multiply by the sampling factor to
     /// estimate whole-cache hits.
     pub fn hit_curve(&self) -> Vec<f64> {
-        let mut curve = Vec::with_capacity(self.ways + 1);
-        let mut acc = 0.0;
-        curve.push(0.0);
-        for &h in &self.hit_counters {
-            acc += h as f64;
-            curve.push(acc);
-        }
+        let mut curve = Vec::new();
+        self.hit_curve_into(&mut curve);
         curve
     }
 
-    /// Estimated miss ratio at each way count 0..=ways.
-    pub fn miss_ratio_curve(&self) -> Vec<f64> {
-        let total = self.observed.max(1) as f64;
-        self.hit_curve().iter().map(|h| 1.0 - h / total).collect()
+    /// Write the cumulative hit curve into `out` (cleared first,
+    /// allocation-free once `out` has capacity `ways + 1`). The
+    /// re-solve loops of online allocators call this per tenant per
+    /// epoch; the buffer variant keeps that path off the heap
+    /// (`tests/no_alloc_hot_path.rs`, re-solve arm).
+    pub fn hit_curve_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.ways + 1);
+        let mut acc = 0.0;
+        out.push(0.0);
+        for &h in &self.hit_counters {
+            acc += h as f64;
+            out.push(acc);
+        }
+    }
+
+    /// Estimated miss ratio at each way count 0..=ways, or `None` while
+    /// the monitor is [cold](Self::is_cold).
+    ///
+    /// The cold case is deliberately explicit: a cold monitor used to
+    /// report a flat all-1.0 curve (`observed.max(1)` hid the 0/0),
+    /// which a utility-driven allocator reads as "this tenant gains
+    /// nothing from cache" and starves it before its first sampled
+    /// access lands. Callers that want a flat fallback must opt in.
+    pub fn miss_ratio_curve(&self) -> Option<Vec<f64>> {
+        if self.is_cold() {
+            return None;
+        }
+        let total = self.observed as f64;
+        Some(self.hit_curve().iter().map(|h| 1.0 - h / total).collect())
     }
 
     /// Zero the counters (start a new measurement epoch), keeping the
@@ -155,7 +186,42 @@ mod tests {
         }
         let curve = m.hit_curve();
         assert_eq!(curve[8], 0.0, "a pure stream never reuses: {curve:?}");
-        assert!((m.miss_ratio_curve()[8] - 1.0).abs() < 1e-12);
+        let mrc = m.miss_ratio_curve().expect("warm monitor has a curve");
+        assert!((mrc[8] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_monitor_has_no_miss_ratio_curve() {
+        // Regression: a cold monitor used to report a flat 1.0 curve
+        // ("cache is useless to this tenant") instead of "no data".
+        let mut m = Umon::new(16, 8, 1);
+        assert!(m.is_cold());
+        assert!(m.miss_ratio_curve().is_none());
+        // One sampled access is enough to warm it ...
+        m.observe(42);
+        assert!(!m.is_cold());
+        let curve = m.miss_ratio_curve().expect("warmed");
+        assert_eq!(curve.len(), 9);
+        assert!((curve[0] - 1.0).abs() < 1e-12);
+        // ... and a counter reset makes it cold again (new epoch).
+        m.reset_counters();
+        assert!(m.is_cold());
+        assert!(m.miss_ratio_curve().is_none());
+    }
+
+    #[test]
+    fn hit_curve_into_matches_allocating_variant_and_reuses_capacity() {
+        let mut m = Umon::new(16, 8, 1);
+        for r in 0..500u64 {
+            m.observe(r % 12);
+        }
+        let mut buf = Vec::with_capacity(9);
+        let ptr = buf.as_ptr();
+        m.hit_curve_into(&mut buf);
+        assert_eq!(buf, m.hit_curve());
+        // A second fill must reuse the same allocation.
+        m.hit_curve_into(&mut buf);
+        assert_eq!(ptr, buf.as_ptr(), "buffer was reallocated");
     }
 
     #[test]

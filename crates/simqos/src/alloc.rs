@@ -138,38 +138,134 @@ pub fn ucp_allocate(hits: &[Vec<f64>], blocks: usize) -> Vec<usize> {
     alloc
 }
 
+/// Resample a monitor's shadow-way hit curve onto allocation blocks of
+/// `granularity` lines: `out[k]` is the (linearly interpolated) hit
+/// count the monitored thread would capture with `k` blocks of cache,
+/// for `k` in `0..=total_lines / granularity`.
+///
+/// `ways_scratch` receives the raw way-indexed curve
+/// ([`Umon::hit_curve_into`]); both buffers are cleared and refilled,
+/// so a caller that reuses them keeps the whole resample off the heap
+/// — the contract the per-epoch re-solve loops of online allocators
+/// rely on (`tests/no_alloc_hot_path.rs`, re-solve arm).
+///
+/// # Panics
+/// Panics if `granularity` is zero or larger than the cache.
+pub fn resample_umon_curve_into(
+    m: &Umon,
+    total_lines: usize,
+    granularity: usize,
+    ways_scratch: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    assert!(granularity > 0 && granularity <= total_lines);
+    let blocks = total_lines / granularity;
+    m.hit_curve_into(ways_scratch);
+    let ways = m.ways() as f64;
+    out.clear();
+    out.reserve(blocks + 1);
+    for k in 0..=blocks {
+        // Block k corresponds to this fraction of the cache, i.e. this
+        // (fractional) shadow-way depth.
+        let depth = k as f64 * granularity as f64 / total_lines as f64 * ways;
+        let lo = depth.floor() as usize;
+        let frac = depth - lo as f64;
+        out.push(if lo + 1 >= ways_scratch.len() {
+            *ways_scratch.last().expect("curve is non-empty")
+        } else {
+            ways_scratch[lo] * (1.0 - frac) + ways_scratch[lo + 1] * frac
+        });
+    }
+}
+
+/// Weighted, bounded UCP hill-climb: assign `blocks` blocks starting
+/// from each thread's `min_blocks`, giving one block at a time to the
+/// thread with the best *priority-weighted* marginal hit gain
+/// (`weights[i] * (hits[i][k+1] - hits[i][k])`), never exceeding
+/// `max_blocks`. The plain [`ucp_allocate`] is the special case of
+/// unit weights and `0..=blocks` bounds. First thread wins ties, for
+/// deterministic allocations. Writes the per-thread block counts into
+/// `alloc_out` (cleared first; allocation-free once it has capacity).
+///
+/// If every thread is capped before `blocks` are placed, the leftover
+/// blocks stay unassigned — the returned counts then sum to less than
+/// `blocks`. Callers that need full coverage must validate
+/// `sum(max_blocks) >= blocks` up front (the QoS compiler does).
+///
+/// # Panics
+/// Panics if the slice lengths disagree, a curve is shorter than
+/// `blocks + 1` entries, a weight is not positive and finite, or
+/// `min_blocks` exceeds `max_blocks` / oversubscribes `blocks`.
+pub fn ucp_allocate_bounded_into(
+    hits: &[Vec<f64>],
+    weights: &[f64],
+    min_blocks: &[usize],
+    max_blocks: &[usize],
+    blocks: usize,
+    alloc_out: &mut Vec<usize>,
+) {
+    let n = hits.len();
+    assert!(n > 0, "need at least one thread");
+    assert!(weights.len() == n && min_blocks.len() == n && max_blocks.len() == n);
+    for i in 0..n {
+        assert!(
+            hits[i].len() > blocks,
+            "each hit curve needs blocks+1 entries (got {} for {blocks} blocks)",
+            hits[i].len()
+        );
+        assert!(
+            weights[i] > 0.0 && weights[i].is_finite(),
+            "weights must be positive and finite"
+        );
+        assert!(min_blocks[i] <= max_blocks[i], "min exceeds max");
+    }
+    let floor: usize = min_blocks.iter().sum();
+    assert!(
+        floor <= blocks,
+        "minimum guarantees oversubscribe the cache"
+    );
+    alloc_out.clear();
+    alloc_out.extend_from_slice(min_blocks);
+    for _ in 0..blocks - floor {
+        let mut best = usize::MAX;
+        let mut best_gain = f64::NEG_INFINITY;
+        for i in 0..n {
+            if alloc_out[i] >= max_blocks[i] {
+                continue;
+            }
+            let gain = weights[i] * (hits[i][alloc_out[i] + 1] - hits[i][alloc_out[i]]);
+            if gain > best_gain {
+                best_gain = gain;
+                best = i;
+            }
+        }
+        if best == usize::MAX {
+            break; // everyone capped: leave the rest unassigned
+        }
+        alloc_out[best] += 1;
+    }
+}
+
 /// Convert online UMON measurements into UCP line targets: each
 /// monitor's hit curve (indexed by shadow ways) is resampled onto
-/// `total_lines / granularity` allocation blocks and handed to the
-/// greedy [`ucp_allocate`]; the result is per-thread line targets
-/// summing to `total_lines`.
+/// `total_lines / granularity` allocation blocks
+/// ([`resample_umon_curve_into`]) and handed to the greedy
+/// [`ucp_allocate`]; the result is per-thread line targets summing to
+/// `total_lines`.
 ///
 /// # Panics
 /// Panics if `umons` is empty or `granularity` is zero or larger than
 /// the cache.
 pub fn ucp_from_umons(umons: &[Umon], total_lines: usize, granularity: usize) -> Vec<usize> {
     assert!(!umons.is_empty());
-    assert!(granularity > 0 && granularity <= total_lines);
     let blocks = total_lines / granularity;
+    let mut scratch = Vec::new();
     let curves: Vec<Vec<f64>> = umons
         .iter()
         .map(|m| {
-            let curve = m.hit_curve(); // indexed 0..=ways
-            let ways = m.ways() as f64;
-            (0..=blocks)
-                .map(|k| {
-                    // Block k corresponds to this fraction of the cache,
-                    // i.e. this (fractional) shadow-way depth.
-                    let depth = k as f64 * granularity as f64 / total_lines as f64 * ways;
-                    let lo = depth.floor() as usize;
-                    let frac = depth - lo as f64;
-                    if lo + 1 >= curve.len() {
-                        *curve.last().expect("curve is non-empty")
-                    } else {
-                        curve[lo] * (1.0 - frac) + curve[lo + 1] * frac
-                    }
-                })
-                .collect()
+            let mut c = Vec::with_capacity(blocks + 1);
+            resample_umon_curve_into(m, total_lines, granularity, &mut scratch, &mut c);
+            c
         })
         .collect();
     let alloc = ucp_allocate(&curves, blocks);
@@ -284,6 +380,74 @@ mod tests {
         let flat = vec![vec![0.0; 9]; 4];
         let alloc = ucp_allocate(&flat, 8);
         assert_eq!(alloc.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn bounded_ucp_matches_plain_ucp_without_bounds() {
+        let h0 = vec![0.0, 10.0, 20.0, 30.0, 30.0, 30.0];
+        let h1 = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut out = Vec::new();
+        ucp_allocate_bounded_into(
+            &[h0.clone(), h1.clone()],
+            &[1.0, 1.0],
+            &[0, 0],
+            &[5, 5],
+            5,
+            &mut out,
+        );
+        assert_eq!(out, ucp_allocate(&[h0, h1], 5));
+    }
+
+    #[test]
+    fn bounded_ucp_respects_floors_caps_and_weights() {
+        // Thread 2's weight of 100 makes its tiny gains (100 × 1) beat
+        // everyone's raw gains, but its cap stops it at 3 blocks; the
+        // rest flows to thread 0 (gain 10) until its cap of 2, thread 1
+        // keeps its guaranteed floor and takes the final block.
+        let h0 = vec![0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0];
+        let h1 = vec![0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0];
+        let h2 = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut out = Vec::new();
+        ucp_allocate_bounded_into(
+            &[h0, h1, h2],
+            &[1.0, 1.0, 100.0],
+            &[0, 1, 0],
+            &[2, 6, 3],
+            6,
+            &mut out,
+        );
+        assert_eq!(out, vec![2, 1, 3]);
+        assert_eq!(out.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn bounded_ucp_leaves_blocks_unassigned_when_everyone_caps() {
+        let flat = vec![vec![0.0; 9]; 2];
+        let mut out = Vec::new();
+        ucp_allocate_bounded_into(&flat, &[1.0, 1.0], &[0, 0], &[2, 3], 8, &mut out);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn resample_into_is_reusable_and_matches_ucp_from_umons_path() {
+        use cachesim::umon::Umon;
+        let mut m = Umon::new(8, 16, 1);
+        for r in 0..5_000u64 {
+            m.observe(r % 40);
+        }
+        let mut scratch = Vec::with_capacity(17);
+        let mut out = Vec::with_capacity(17);
+        resample_umon_curve_into(&m, 8_192, 512, &mut scratch, &mut out);
+        assert_eq!(out.len(), 17);
+        assert!((out[0] - 0.0).abs() < 1e-12);
+        // Monotone non-decreasing, like any cumulative hit curve.
+        for w in out.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "{out:?}");
+        }
+        // Refill reuses the buffers.
+        let (p1, p2) = (scratch.as_ptr(), out.as_ptr());
+        resample_umon_curve_into(&m, 8_192, 512, &mut scratch, &mut out);
+        assert_eq!((p1, p2), (scratch.as_ptr(), out.as_ptr()));
     }
 }
 

@@ -36,7 +36,10 @@ pub mod metrics;
 pub mod system;
 pub mod timing;
 
-pub use alloc::{equal_share, lru_miss_curve, static_qos, ucp_allocate};
+pub use alloc::{
+    equal_share, lru_miss_curve, resample_umon_curve_into, static_qos, ucp_allocate,
+    ucp_allocate_bounded_into,
+};
 pub use memory::MemoryChannel;
 pub use metrics::{throughput, weighted_speedup};
 pub use system::{System, SystemResult, Thread, ThreadResult};

@@ -1,0 +1,351 @@
+//! Utility-driven target allocation: per-tenant [`Umon`] shadow
+//! monitors feed marginal-utility curves into a priority-weighted,
+//! bounded UCP hill-climb ([`simqos::alloc::ucp_allocate_bounded_into`])
+//! that re-solves the partition-target vector each epoch under the
+//! compiled QoS constraints.
+//!
+//! The allocator is built once from a [`CompiledQos`] and then runs
+//! allocation-free: every curve, scratch buffer and the target vector
+//! itself is pre-sized at construction, so the per-epoch
+//! [`resolve`](UtilityAllocator::resolve) can sit on the engine's hot
+//! path (`tests/no_alloc_hot_path.rs`, re-solve arm).
+//!
+//! # The cold-tenant contract
+//!
+//! [`Umon::miss_ratio_curve`] returns `None` while a monitor is cold —
+//! a cold monitor has no information, and treating 0/0 as "misses
+//! everywhere" made utility allocators starve tenants before their
+//! first sampled access (the regression pinned by
+//! `cachesim::umon::tests::cold_monitor_has_no_miss_ratio_curve`).
+//! This allocator honours the explicit contract: a tenant whose
+//! monitor [is cold](Umon::is_cold) for the epoch is *pinned* at its
+//! current target (both solver bounds collapse onto it), so it keeps
+//! its allocation until it produces evidence either way.
+
+use crate::spec::{rebalance_targets, CompiledQos};
+use cachesim::umon::Umon;
+use simqos::alloc::{resample_umon_curve_into, ucp_allocate_bounded_into};
+
+/// Shadow-monitor geometry for each tenant's [`Umon`].
+#[derive(Clone, Copy, Debug)]
+pub struct UmonConfig {
+    /// Sampled shadow sets per monitor.
+    pub sets: usize,
+    /// Shadow ways per set (the utility curve's resolution).
+    pub ways: usize,
+    /// Observe one in `sampling` lines (1 = observe everything).
+    pub sampling: u64,
+}
+
+impl Default for UmonConfig {
+    fn default() -> Self {
+        UmonConfig {
+            sets: 32,
+            ways: 16,
+            sampling: 1,
+        }
+    }
+}
+
+/// Periodically re-solves per-tenant line targets from measured
+/// utility, within the bounds of a [`CompiledQos`].
+///
+/// ```
+/// use tenancy::{QosBuilder, TenantSpec, UmonConfig, UtilityAllocator};
+/// let qos = QosBuilder::new()
+///     .tenant(TenantSpec::named("reuser"))
+///     .tenant(TenantSpec::named("streamer"))
+///     .compile(4096)
+///     .unwrap();
+/// let mut alloc = UtilityAllocator::new(qos, 256, UmonConfig::default());
+/// for r in 0..20_000u64 {
+///     alloc.observe(0, r % 48);            // small hot set
+///     alloc.observe(1, 1_000_000 + r);     // pure stream
+/// }
+/// let targets = alloc.resolve();
+/// assert_eq!(targets.iter().sum::<usize>(), 4096);
+/// assert!(targets[0] > targets[1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UtilityAllocator {
+    qos: CompiledQos,
+    granularity: usize,
+    blocks: usize,
+    umons: Vec<Umon>,
+    /// QoS bounds in blocks: `min_b` floors (never oversubscribe),
+    /// `max_b` ceilings (never deny a tenant its compiled maximum).
+    min_b: Vec<usize>,
+    max_b: Vec<usize>,
+    /// Per-epoch effective bounds; cold tenants collapse both onto
+    /// their current target.
+    eff_min: Vec<usize>,
+    eff_max: Vec<usize>,
+    curves: Vec<Vec<f64>>,
+    ways_scratch: Vec<f64>,
+    alloc_b: Vec<usize>,
+    targets: Vec<usize>,
+}
+
+impl UtilityAllocator {
+    /// Build an allocator over `qos` re-solving at block `granularity`
+    /// lines, with one shadow monitor per tenant.
+    ///
+    /// # Panics
+    /// Panics if `granularity` is zero or larger than the cache.
+    pub fn new(qos: CompiledQos, granularity: usize, umon: UmonConfig) -> Self {
+        let total = qos.total_lines();
+        assert!(
+            granularity > 0 && granularity <= total,
+            "granularity {granularity} outside 1..={total}"
+        );
+        let blocks = total / granularity;
+        let n = qos.tenants();
+        // Floors round down (a fractional-block guarantee must not
+        // oversubscribe the solver); ceilings round up and saturate at
+        // the cache. The exact line bounds are re-imposed after the
+        // solve, so nothing is lost to block rounding.
+        let min_b: Vec<usize> = qos.min_lines().iter().map(|&m| m / granularity).collect();
+        let max_b: Vec<usize> = qos
+            .max_lines()
+            .iter()
+            .map(|&m| m.div_ceil(granularity).min(blocks))
+            .collect();
+        let targets = qos.initial_targets().to_vec();
+        UtilityAllocator {
+            granularity,
+            blocks,
+            umons: (0..n)
+                .map(|_| Umon::new(umon.sets, umon.ways, umon.sampling))
+                .collect(),
+            min_b,
+            max_b,
+            eff_min: vec![0; n],
+            eff_max: vec![0; n],
+            curves: vec![Vec::with_capacity(blocks + 1); n],
+            ways_scratch: Vec::with_capacity(umon.ways + 1),
+            alloc_b: Vec::with_capacity(n),
+            targets,
+            qos,
+        }
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.umons.len()
+    }
+
+    /// The compiled QoS this allocator solves under.
+    pub fn qos(&self) -> &CompiledQos {
+        &self.qos
+    }
+
+    /// The most recently solved target vector (initially the QoS
+    /// fallback targets). Always sums to the cache size.
+    pub fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// Whether tenant `i`'s monitor is cold for the current epoch.
+    pub fn is_cold(&self, i: usize) -> bool {
+        self.umons[i].is_cold()
+    }
+
+    /// Feed one access of tenant `tenant` to its shadow monitor.
+    #[inline]
+    pub fn observe(&mut self, tenant: usize, addr: u64) {
+        self.umons[tenant].observe(addr);
+    }
+
+    /// Re-solve the target vector from the epoch's measured utility and
+    /// start a new measurement epoch. Returns the new targets (also
+    /// readable via [`targets`](Self::targets)).
+    ///
+    /// Warm tenants compete for blocks by priority-weighted marginal
+    /// hit gain within their `[min, max]` bounds; cold tenants are
+    /// pinned at their current target (see the module docs). The
+    /// result is converted back to lines, clamped to the exact QoS
+    /// line bounds, and rebalanced to cover the cache exactly.
+    /// Allocation-free after construction; deterministic given the
+    /// same observation history.
+    pub fn resolve(&mut self) -> &[usize] {
+        let g = self.granularity;
+        for i in 0..self.umons.len() {
+            if self.umons[i].is_cold() {
+                // No data: pin at the current target. The curve content
+                // is irrelevant (both bounds coincide) but the solver
+                // requires blocks+1 entries.
+                let cur = (self.targets[i] + g / 2) / g;
+                let pin = cur.clamp(self.min_b[i], self.max_b[i]);
+                self.eff_min[i] = pin;
+                self.eff_max[i] = pin;
+                self.curves[i].clear();
+                self.curves[i].resize(self.blocks + 1, 0.0);
+            } else {
+                self.eff_min[i] = self.min_b[i];
+                self.eff_max[i] = self.max_b[i];
+                resample_umon_curve_into(
+                    &self.umons[i],
+                    self.qos.total_lines(),
+                    g,
+                    &mut self.ways_scratch,
+                    &mut self.curves[i],
+                );
+            }
+        }
+        // Pinning can oversubscribe the floor sum (e.g. every tenant
+        // cold with rounded-up pins). Walk pinned tenants from the back
+        // and release their floors toward the compiled minimum until
+        // the solver is feasible again.
+        let mut floor: usize = self.eff_min.iter().sum();
+        for i in (0..self.eff_min.len()).rev() {
+            if floor <= self.blocks {
+                break;
+            }
+            let give = (self.eff_min[i] - self.min_b[i]).min(floor - self.blocks);
+            self.eff_min[i] -= give;
+            floor -= give;
+        }
+        ucp_allocate_bounded_into(
+            &self.curves,
+            self.qos.priorities(),
+            &self.eff_min,
+            &self.eff_max,
+            self.blocks,
+            &mut self.alloc_b,
+        );
+        for i in 0..self.targets.len() {
+            self.targets[i] =
+                (self.alloc_b[i] * g).clamp(self.qos.min_lines()[i], self.qos.max_lines()[i]);
+        }
+        rebalance_targets(
+            &mut self.targets,
+            self.qos.min_lines(),
+            self.qos.max_lines(),
+            self.qos.total_lines(),
+        );
+        for m in &mut self.umons {
+            m.reset_counters();
+        }
+        &self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{QosBuilder, TenantSpec};
+
+    fn qos3(total: usize) -> CompiledQos {
+        QosBuilder::new()
+            .tenant(TenantSpec::named("a"))
+            .tenant(TenantSpec::named("b"))
+            .tenant(TenantSpec::named("c"))
+            .compile(total)
+            .unwrap()
+    }
+
+    #[test]
+    fn utility_flows_to_the_reuser() {
+        let mut alloc = UtilityAllocator::new(qos3(6_144), 256, UmonConfig::default());
+        for r in 0..30_000u64 {
+            alloc.observe(0, r % 40); // hot set
+            alloc.observe(1, 1 << 41 | (r % 3_000)); // large working set
+            alloc.observe(2, 1 << 42 | r); // stream
+        }
+        let t = alloc.resolve().to_vec();
+        assert_eq!(t.iter().sum::<usize>(), 6_144);
+        assert!(t[0] > t[2], "reuser beats streamer: {t:?}");
+    }
+
+    #[test]
+    fn cold_tenant_keeps_its_current_target() {
+        // Tenant 1 never produces a sampled access: it must hold its
+        // initial (fallback) target through re-solves while the warm
+        // tenants shuffle the rest.
+        let qos = QosBuilder::new()
+            .tenant(TenantSpec::named("warm-a"))
+            .tenant(TenantSpec::named("silent").share(0.25))
+            .tenant(TenantSpec::named("warm-b"))
+            .compile(8_192)
+            .unwrap();
+        let pinned = qos.initial_targets()[1];
+        let mut alloc = UtilityAllocator::new(qos, 256, UmonConfig::default());
+        for round in 0..3 {
+            for r in 0..20_000u64 {
+                alloc.observe(0, r % 50);
+                alloc.observe(2, 1 << 42 | r);
+            }
+            let t = alloc.resolve().to_vec();
+            assert_eq!(t[1], pinned);
+            assert_eq!(
+                alloc.targets()[1],
+                pinned,
+                "round {round}: cold tenant moved: {:?}",
+                alloc.targets()
+            );
+            assert_eq!(alloc.targets().iter().sum::<usize>(), 8_192);
+        }
+        // Once it warms up, it competes normally: against two warm
+        // streamers its tight reuse out-earns them.
+        for r in 0..40_000u64 {
+            alloc.observe(0, 1 << 40 | r);
+            alloc.observe(1, 1 << 41 | (r % 30));
+            alloc.observe(2, 1 << 42 | r);
+        }
+        assert!(!alloc.is_cold(1));
+        let t = alloc.resolve();
+        assert_eq!(t.iter().sum::<usize>(), 8_192);
+        assert!(t[1] > t[2], "warm reuser out-earns the streamer: {t:?}");
+    }
+
+    #[test]
+    fn bounds_and_priorities_are_enforced() {
+        let qos = QosBuilder::new()
+            .tenant(TenantSpec::named("capped").max_lines(1_024))
+            .tenant(TenantSpec::named("floored").min_lines(2_048))
+            .tenant(TenantSpec::named("weighted").priority(50.0))
+            .compile(8_192)
+            .unwrap();
+        let mut alloc = UtilityAllocator::new(qos, 256, UmonConfig::default());
+        for _ in 0..3 {
+            for r in 0..30_000u64 {
+                // Identical reuse behaviour (hot sets shallow enough
+                // for the shadow ways): only QoS separates them.
+                alloc.observe(0, r % 40);
+                alloc.observe(1, 1 << 41 | (r % 40));
+                alloc.observe(2, 1 << 42 | (r % 40));
+            }
+            let t = alloc.resolve().to_vec();
+            assert_eq!(t.iter().sum::<usize>(), 8_192);
+            assert!(t[0] <= 1_024, "cap holds: {t:?}");
+            assert!(t[1] >= 2_048, "floor holds: {t:?}");
+            assert!(t[2] >= t[0], "the weighted tenant wins first: {t:?}");
+        }
+    }
+
+    #[test]
+    fn all_cold_resolve_is_the_identity() {
+        let mut alloc = UtilityAllocator::new(qos3(6_144), 256, UmonConfig::default());
+        let before = alloc.targets().to_vec();
+        let after = alloc.resolve().to_vec();
+        assert_eq!(before, after, "no data, no movement");
+    }
+
+    #[test]
+    fn resolve_is_deterministic_for_identical_histories() {
+        let run = || {
+            let mut alloc = UtilityAllocator::new(qos3(6_144), 128, UmonConfig::default());
+            let mut all = Vec::new();
+            for round in 0..4u64 {
+                for r in 0..10_000u64 {
+                    alloc.observe(0, (r * 7 + round) % 300);
+                    alloc.observe(1, 1 << 41 | (r % (500 + 200 * round)));
+                    alloc.observe(2, 1 << 42 | (r * 3));
+                }
+                all.extend_from_slice(alloc.resolve());
+            }
+            all
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,311 @@
+//! The closed loop: a [`TenancyDriver`] feeds tenant traffic into a
+//! [`ShardedEngine`] while a [`UtilityAllocator`] re-solves the
+//! partition targets on a deterministic cadence.
+//!
+//! # Determinism and jobs-invariance
+//!
+//! Re-solves are keyed to the *access count*, never to wall-clock or
+//! worker identity: the driver counts accesses as it feeds them and,
+//! when an incoming block straddles an epoch boundary, splits it so
+//! the re-solve lands exactly between engine batches. Every shadow
+//! observation, every solve and every `set_targets` push therefore
+//! happens at the same access index regardless of the engine's job
+//! count — targets, merged statistics, recorder rows and snapshot
+//! bytes are byte-identical for `--jobs 1` and `--jobs N`
+//! (`tests/tenancy_determinism.rs`).
+//!
+//! Tenant arrival and departure are traffic phenomena, not structural
+//! ones: the partition space is fixed at compile time and a "departed"
+//! tenant simply stops producing accesses, which makes its monitor run
+//! cold and pins its target (see [`crate::allocator`]) until the QoS
+//! floor/fallback reclaim path redistributes it.
+
+use crate::allocator::UtilityAllocator;
+use cachesim::{AccessBlock, ShardedEngine};
+
+/// One re-solve, as recorded by the driver's event log: which epoch,
+/// at which global access index, and the target vector that was pushed
+/// into the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolveEvent {
+    /// 1-based epoch counter.
+    pub epoch: u64,
+    /// Global access count at which the re-solve fired (a multiple of
+    /// the cadence).
+    pub at_access: u64,
+    /// The targets pushed into the engine.
+    pub targets: Vec<usize>,
+}
+
+/// Closed-loop driver: traffic in, measured-utility re-allocations out.
+///
+/// ```
+/// use cachesim::{AccessBlock, AccessMeta, PartitionId, ShardedEngine};
+/// use tenancy::{QosBuilder, TenancyDriver, TenantSpec, UmonConfig, UtilityAllocator};
+///
+/// let qos = QosBuilder::new()
+///     .tenant(TenantSpec::named("a"))
+///     .tenant(TenantSpec::named("b"))
+///     .compile(1024)
+///     .unwrap();
+/// let alloc = UtilityAllocator::new(qos, 64, UmonConfig::default());
+/// let engine = ShardedEngine::new(2, 2, |i| {
+///     Box::new(cachesim::PartitionedCache::new(
+///         Box::new(cachesim::array::RandomCandidates::new(64, 8, i as u64)),
+///         cachesim::naive_lru(),
+///         cachesim::evict_max_futility(),
+///         2,
+///     ))
+/// });
+/// let mut driver = TenancyDriver::new(engine, alloc, 500);
+/// let mut block = AccessBlock::new();
+/// for r in 0..1_200u64 {
+///     block.push(PartitionId((r % 2) as u16), r % 97, AccessMeta::default());
+/// }
+/// driver.feed(&block);
+/// assert_eq!(driver.epochs(), 2); // re-solved at accesses 500 and 1000
+/// ```
+pub struct TenancyDriver {
+    engine: ShardedEngine,
+    alloc: UtilityAllocator,
+    /// Re-solve every `cadence` accesses.
+    cadence: u64,
+    fed_in_epoch: u64,
+    total_fed: u64,
+    epochs: u64,
+    /// Scratch for the sub-range of a block that straddles an epoch
+    /// boundary; reused across feeds.
+    staging: AccessBlock,
+    log: Vec<ResolveEvent>,
+    log_enabled: bool,
+}
+
+impl TenancyDriver {
+    /// Couple `engine` and `alloc` into a loop re-solving every
+    /// `cadence` accesses. The allocator's initial targets are pushed
+    /// into the engine immediately.
+    ///
+    /// # Panics
+    /// Panics if `cadence` is zero or the engine has fewer partitions
+    /// than the QoS has tenants.
+    pub fn new(mut engine: ShardedEngine, alloc: UtilityAllocator, cadence: u64) -> Self {
+        assert!(cadence > 0, "cadence must be positive");
+        assert!(
+            engine.partitions() >= alloc.tenants(),
+            "engine has {} partitions for {} tenants",
+            engine.partitions(),
+            alloc.tenants()
+        );
+        engine.set_targets(alloc.targets());
+        TenancyDriver {
+            engine,
+            alloc,
+            cadence,
+            fed_in_epoch: 0,
+            total_fed: 0,
+            epochs: 0,
+            staging: AccessBlock::new(),
+            log: Vec::new(),
+            log_enabled: false,
+        }
+    }
+
+    /// Record a [`ResolveEvent`] per re-solve (off by default: the log
+    /// allocates, so the no-alloc hot path keeps it off).
+    pub fn record_events(&mut self, on: bool) {
+        self.log_enabled = on;
+    }
+
+    /// Feed one block of tenant traffic, re-solving at every epoch
+    /// boundary it crosses. Returns the total hit count.
+    ///
+    /// The common case (block entirely inside the current epoch) feeds
+    /// the caller's block to the engine untouched; a block straddling a
+    /// boundary is split through the reusable staging buffer so the
+    /// re-solve lands exactly between engine batches.
+    pub fn feed(&mut self, block: &AccessBlock) -> u64 {
+        let (parts, addrs, metas) = (block.parts(), block.addrs(), block.metas());
+        let mut off = 0usize;
+        let mut hits = 0u64;
+        while off < block.len() {
+            let room = (self.cadence - self.fed_in_epoch) as usize;
+            let take = room.min(block.len() - off);
+            for i in off..off + take {
+                self.alloc.observe(parts[i].0 as usize, addrs[i]);
+            }
+            if off == 0 && take == block.len() {
+                hits += self.engine.access_batch(block);
+            } else {
+                self.staging.clear();
+                for i in off..off + take {
+                    self.staging.push(parts[i], addrs[i], metas[i]);
+                }
+                hits += self.engine.access_batch(&self.staging);
+            }
+            off += take;
+            self.fed_in_epoch += take as u64;
+            self.total_fed += take as u64;
+            if self.fed_in_epoch == self.cadence {
+                self.resolve_now();
+                self.fed_in_epoch = 0;
+            }
+        }
+        hits
+    }
+
+    fn resolve_now(&mut self) {
+        self.epochs += 1;
+        let targets = self.alloc.resolve();
+        self.engine.set_targets(targets);
+        if self.log_enabled {
+            self.log.push(ResolveEvent {
+                epoch: self.epochs,
+                at_access: self.total_fed,
+                targets: targets.to_vec(),
+            });
+        }
+    }
+
+    /// The engine under management.
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access (set jobs, attach recorders, reset stats).
+    /// Structural mutations are outside the determinism contract — do
+    /// them identically on every replica you intend to compare.
+    pub fn engine_mut(&mut self) -> &mut ShardedEngine {
+        &mut self.engine
+    }
+
+    /// The allocator driving the loop.
+    pub fn allocator(&self) -> &UtilityAllocator {
+        &self.alloc
+    }
+
+    /// The targets currently enforced by the engine.
+    pub fn targets(&self) -> &[usize] {
+        self.alloc.targets()
+    }
+
+    /// Completed re-solve epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Total accesses fed.
+    pub fn accesses(&self) -> u64 {
+        self.total_fed
+    }
+
+    /// Recorded re-solve events (empty unless
+    /// [`record_events`](Self::record_events) is on).
+    pub fn events(&self) -> &[ResolveEvent] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{QosBuilder, TenantSpec};
+    use crate::UmonConfig;
+    use cachesim::array::RandomCandidates;
+    use cachesim::{AccessMeta, PartitionId, PartitionedCache};
+
+    fn engine(shards: usize, parts: usize) -> ShardedEngine {
+        ShardedEngine::new(shards, parts, |i| {
+            Box::new(PartitionedCache::new(
+                Box::new(RandomCandidates::new(128, 8, 7 + i as u64)),
+                cachesim::naive_lru(),
+                cachesim::evict_max_futility(),
+                parts,
+            ))
+        })
+    }
+
+    fn allocator(tenants: usize, total: usize) -> UtilityAllocator {
+        let mut b = QosBuilder::new();
+        for t in 0..tenants {
+            b = b.tenant(TenantSpec::named(format!("t{t}")));
+        }
+        UtilityAllocator::new(b.compile(total).unwrap(), 64, UmonConfig::default())
+    }
+
+    fn traffic(n: usize, tenants: u16, seed: u64) -> AccessBlock {
+        let mut b = AccessBlock::with_capacity(n);
+        let mut x = seed | 1;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let t = (x % tenants as u64) as u16;
+            // Tenant 0 reuses a tiny set; others roam wider.
+            let addr = ((t as u64) << 40) | ((x >> 32) % (40 + 800 * t as u64));
+            b.push(PartitionId(t), addr, AccessMeta::default());
+        }
+        b
+    }
+
+    #[test]
+    fn epoch_boundaries_land_on_exact_access_counts() {
+        let mut d = TenancyDriver::new(engine(2, 2), allocator(2, 2048), 1_000);
+        d.record_events(true);
+        // 7 blocks of 300: boundaries at 1000 and 2000 fall mid-block.
+        for r in 0..7u64 {
+            d.feed(&traffic(300, 2, r * 31 + 1));
+        }
+        assert_eq!(d.accesses(), 2_100);
+        assert_eq!(d.epochs(), 2);
+        let at: Vec<u64> = d.events().iter().map(|e| e.at_access).collect();
+        assert_eq!(at, vec![1_000, 2_000]);
+        for e in d.events() {
+            assert_eq!(e.targets.iter().sum::<usize>(), 2_048);
+        }
+    }
+
+    #[test]
+    fn one_block_can_cross_many_epochs() {
+        let mut d = TenancyDriver::new(engine(2, 2), allocator(2, 2048), 250);
+        d.feed(&traffic(1_100, 2, 5));
+        assert_eq!(d.epochs(), 4);
+    }
+
+    #[test]
+    fn job_count_does_not_change_the_closed_loop() {
+        let run = |jobs: usize| {
+            let mut d = TenancyDriver::new(engine(4, 3), allocator(3, 4096), 800);
+            d.record_events(true);
+            d.engine_mut().set_jobs(jobs);
+            let mut hits = 0u64;
+            for r in 0..9u64 {
+                hits += d.feed(&traffic(500, 3, r * 17 + 3));
+            }
+            (
+                hits,
+                d.targets().to_vec(),
+                d.events().to_vec(),
+                d.engine().snapshot(),
+            )
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn targets_track_utility_through_the_loop() {
+        // Tenant 0 reuses a tiny set, tenant 2 roams the widest: the
+        // re-solved split must reflect measured utility, not the equal
+        // initial shares.
+        let mut d = TenancyDriver::new(engine(2, 3), allocator(3, 4096), 2_000);
+        let initial = d.targets().to_vec();
+        for r in 0..20u64 {
+            d.feed(&traffic(1_000, 3, r * 13 + 1));
+        }
+        assert!(d.epochs() >= 9);
+        let now = d.targets();
+        assert_eq!(now.iter().sum::<usize>(), 4_096);
+        assert!(now[0] > 0, "the reuser earns capacity: {now:?}");
+        assert!(
+            now[2] < initial[2],
+            "the widest roamer loses its equal share: {initial:?} -> {now:?}"
+        );
+    }
+}

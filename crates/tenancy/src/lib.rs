@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! Multi-tenant QoS layer over the partitioned-cache engines: declare
+//! per-tenant service expectations fluently, compile them into a
+//! validated partition-target vector, and let a utility-driven
+//! allocator re-solve the targets online from measured miss-rate
+//! curves while a closed-loop driver feeds traffic.
+//!
+//! The paper frames cache QoS as *allocation policy* (decide targets)
+//! vs *enforcement scheme* (hold partitions at their targets — its
+//! contribution, Futility Scaling). The repo's enforcement schemes and
+//! sharded engines supply the latter; this crate supplies a practical
+//! allocation layer on top:
+//!
+//! * [`TenantSpec`] / [`QosBuilder`] — fluent per-tenant QoS specs
+//!   (share, min/max lines, priority weight, optional SLO miss-ratio
+//!   ceiling) compiled, with full cross-tenant validation, into a
+//!   [`CompiledQos`].
+//! * [`UtilityAllocator`] — per-tenant UMON shadow monitors feeding a
+//!   priority-weighted, bounded UCP hill-climb that re-solves targets
+//!   each epoch; cold tenants are pinned rather than starved.
+//! * [`TenancyDriver`] — the closed loop: traffic in, re-solved
+//!   targets pushed into a live [`ShardedEngine`](cachesim::ShardedEngine)
+//!   between access blocks, on a deterministic access-count cadence
+//!   that is byte-identical for any `--jobs` count.
+//!
+//! The invariant → pinning-test contract table is DESIGN.md §13; the
+//! allocation-storm experiment (`--bin tenancy_storm`) exercises the
+//! whole stack against Vantage and PriSM.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tenancy::{QosBuilder, TenantSpec, UmonConfig, UtilityAllocator};
+//!
+//! let qos = QosBuilder::new()
+//!     .tenant(TenantSpec::named("latency-critical")
+//!         .share(0.5)
+//!         .min_lines(1024)
+//!         .priority(4.0)
+//!         .slo_miss_ratio(0.2))
+//!     .tenant(TenantSpec::named("batch").max_lines(2048))
+//!     .tenant(TenantSpec::named("best-effort"))
+//!     .compile(8192)
+//!     .unwrap();
+//! assert_eq!(qos.initial_targets().iter().sum::<usize>(), 8192);
+//!
+//! let mut alloc = UtilityAllocator::new(qos, 512, UmonConfig::default());
+//! for r in 0..10_000u64 {
+//!     alloc.observe(0, r % 32);           // tight reuse
+//!     alloc.observe(1, 1 << 41 | r);      // stream
+//!     alloc.observe(2, 1 << 42 | r % 4_000);
+//! }
+//! let targets = alloc.resolve();
+//! assert_eq!(targets.iter().sum::<usize>(), 8192);
+//! assert!(targets[0] >= 1024);            // floor held
+//! assert!(targets[1] <= 2048);            // cap held
+//! ```
+
+pub mod allocator;
+pub mod driver;
+pub mod spec;
+
+pub use allocator::{UmonConfig, UtilityAllocator};
+pub use driver::{ResolveEvent, TenancyDriver};
+pub use spec::{rebalance_targets, CompiledQos, QosBuilder, QosError, TenantSpec};

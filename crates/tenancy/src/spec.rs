@@ -1,0 +1,512 @@
+//! Per-tenant QoS specification: a fluent builder ([`TenantSpec`] /
+//! [`QosBuilder`]) that validates and compiles into a partition-target
+//! vector plus the bounds the online allocator enforces every epoch.
+//!
+//! A *tenant* is an application partition with service expectations: a
+//! target share of the cache, hard min/max line bounds, a priority
+//! weight for the utility solver, and an optional SLO miss-ratio
+//! ceiling used for reporting. Compilation ([`QosBuilder::compile`])
+//! checks every cross-tenant invariant once, up front, so the
+//! allocator and driver can run the closed loop panic-free; the
+//! resulting [`CompiledQos`] is immutable for the lifetime of the
+//! tenancy (tenant arrival/departure is modeled by traffic weights
+//! going to/from zero, not by resizing the partition space — see the
+//! module docs of [`crate::driver`]).
+
+use std::fmt;
+
+/// One tenant's QoS spec, built fluently:
+///
+/// ```
+/// use tenancy::TenantSpec;
+/// let spec = TenantSpec::named("frontend")
+///     .share(0.25)
+///     .min_lines(1024)
+///     .max_lines(65_536)
+///     .priority(2.0)
+///     .slo_miss_ratio(0.35);
+/// ```
+///
+/// Every method consumes and returns `self` (the HDDS-style fluent
+/// builder pattern); unset fields take documented defaults at
+/// [`QosBuilder::compile`] time.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    pub(crate) name: String,
+    pub(crate) priority: f64,
+    pub(crate) share: Option<f64>,
+    pub(crate) min_lines: usize,
+    pub(crate) max_lines: Option<usize>,
+    pub(crate) slo_miss_ratio: Option<f64>,
+}
+
+impl TenantSpec {
+    /// Start a spec for the tenant called `name` (must be unique and
+    /// non-empty within one [`QosBuilder`]).
+    pub fn named(name: impl Into<String>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            priority: 1.0,
+            share: None,
+            min_lines: 0,
+            max_lines: None,
+            slo_miss_ratio: None,
+        }
+    }
+
+    /// Priority weight for the utility solver: marginal hit gains are
+    /// multiplied by this before tenants compete for blocks. Default
+    /// 1.0; must be positive and finite.
+    pub fn priority(mut self, weight: f64) -> Self {
+        self.priority = weight;
+        self
+    }
+
+    /// Target share of the cache in `[0, 1]`, used for the initial
+    /// target vector and as the cold-start fallback. Tenants without
+    /// an explicit share split whatever the explicit shares leave.
+    pub fn share(mut self, share: f64) -> Self {
+        self.share = Some(share);
+        self
+    }
+
+    /// Guaranteed minimum allocation in lines (default 0). The
+    /// allocator never re-solves below this.
+    pub fn min_lines(mut self, lines: usize) -> Self {
+        self.min_lines = lines;
+        self
+    }
+
+    /// Hard allocation ceiling in lines (default: the whole cache).
+    /// The allocator never re-solves above this.
+    pub fn max_lines(mut self, lines: usize) -> Self {
+        self.max_lines = Some(lines);
+        self
+    }
+
+    /// SLO miss-ratio ceiling in `(0, 1]`: the serving objective this
+    /// tenant is held to. Purely observational — the experiment layer
+    /// reports violations; the solver does not read it.
+    pub fn slo_miss_ratio(mut self, ceiling: f64) -> Self {
+        self.slo_miss_ratio = Some(ceiling);
+        self
+    }
+}
+
+/// A QoS compilation error, naming the offending tenant where there is
+/// one.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QosError {
+    /// The builder holds no tenants.
+    NoTenants,
+    /// More tenants than the `PartitionId` space (`u16`) can address.
+    TooManyTenants(usize),
+    /// A tenant-level validation failed (empty/duplicate name, bad
+    /// priority/share/SLO value, `min_lines > max_lines`, …).
+    BadTenant {
+        /// The offending tenant's name (possibly empty).
+        name: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Cross-tenant invariant failed (shares sum over 1, minimum
+    /// guarantees oversubscribe the cache, maxima undersubscribe it).
+    Infeasible(String),
+}
+
+impl fmt::Display for QosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosError::NoTenants => write!(f, "no tenants specified"),
+            QosError::TooManyTenants(n) => {
+                write!(f, "{n} tenants exceed the PartitionId space (65536)")
+            }
+            QosError::BadTenant { name, reason } => write!(f, "tenant {name:?}: {reason}"),
+            QosError::Infeasible(why) => write!(f, "infeasible QoS set: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for QosError {}
+
+/// Collects [`TenantSpec`]s and compiles them against a cache size.
+///
+/// ```
+/// use tenancy::{QosBuilder, TenantSpec};
+/// let qos = QosBuilder::new()
+///     .tenant(TenantSpec::named("a").share(0.5).priority(2.0))
+///     .tenant(TenantSpec::named("b").min_lines(64))
+///     .tenant(TenantSpec::named("c").max_lines(512).slo_miss_ratio(0.5))
+///     .compile(1024)
+///     .unwrap();
+/// assert_eq!(qos.tenants(), 3);
+/// assert_eq!(qos.initial_targets().iter().sum::<usize>(), 1024);
+/// assert_eq!(qos.initial_targets()[0], 512);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct QosBuilder {
+    tenants: Vec<TenantSpec>,
+}
+
+impl QosBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        QosBuilder::default()
+    }
+
+    /// Add one tenant (tenant index = insertion order = partition id).
+    pub fn tenant(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Validate every spec and cross-tenant invariant, then compile
+    /// the set against a cache of `total_lines` lines.
+    ///
+    /// # Errors
+    /// See [`QosError`]; nothing is partially applied on failure.
+    pub fn compile(self, total_lines: usize) -> Result<CompiledQos, QosError> {
+        if self.tenants.is_empty() {
+            return Err(QosError::NoTenants);
+        }
+        if self.tenants.len() > u16::MAX as usize + 1 {
+            return Err(QosError::TooManyTenants(self.tenants.len()));
+        }
+        if total_lines == 0 {
+            return Err(QosError::Infeasible("cache has zero lines".into()));
+        }
+        let bad = |t: &TenantSpec, reason: String| QosError::BadTenant {
+            name: t.name.clone(),
+            reason,
+        };
+        let n = self.tenants.len();
+        let mut share_sum = 0.0f64;
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.name.is_empty() {
+                return Err(bad(t, "empty name".into()));
+            }
+            if self.tenants[..i].iter().any(|o| o.name == t.name) {
+                return Err(bad(t, "duplicate name".into()));
+            }
+            if !(t.priority > 0.0 && t.priority.is_finite()) {
+                return Err(bad(
+                    t,
+                    format!("priority {} not positive finite", t.priority),
+                ));
+            }
+            if let Some(s) = t.share {
+                if !(s.is_finite() && (0.0..=1.0).contains(&s)) {
+                    return Err(bad(t, format!("share {s} outside [0, 1]")));
+                }
+                share_sum += s;
+            }
+            let max = t.max_lines.unwrap_or(total_lines);
+            if t.min_lines > max {
+                return Err(bad(
+                    t,
+                    format!("min_lines {} exceeds max_lines {max}", t.min_lines),
+                ));
+            }
+            if let Some(slo) = t.slo_miss_ratio {
+                if !(slo.is_finite() && 0.0 < slo && slo <= 1.0) {
+                    return Err(bad(t, format!("SLO miss ratio {slo} outside (0, 1]")));
+                }
+            }
+        }
+        if share_sum > 1.0 + 1e-9 {
+            return Err(QosError::Infeasible(format!(
+                "explicit shares sum to {share_sum:.6} > 1"
+            )));
+        }
+        let min: Vec<usize> = self.tenants.iter().map(|t| t.min_lines).collect();
+        let max: Vec<usize> = self
+            .tenants
+            .iter()
+            .map(|t| t.max_lines.unwrap_or(total_lines))
+            .collect();
+        let min_sum: usize = min.iter().sum();
+        if min_sum > total_lines {
+            return Err(QosError::Infeasible(format!(
+                "minimum guarantees sum to {min_sum} lines > cache of {total_lines}"
+            )));
+        }
+        // Saturating: per-tenant maxima are each <= total_lines but 64k
+        // tenants' worth can overflow a 32-bit usize in theory.
+        let max_sum = max.iter().fold(0usize, |a, &m| a.saturating_add(m));
+        if max_sum < total_lines {
+            return Err(QosError::Infeasible(format!(
+                "maximum ceilings sum to {max_sum} lines < cache of {total_lines}; \
+                 the target vector could not cover the cache"
+            )));
+        }
+        // Fallback (= initial) targets: explicit shares first, the
+        // implicit tenants split the remainder equally, then everything
+        // is clamped into [min, max] and rebalanced to cover the cache
+        // exactly.
+        let explicit_lines: usize = self
+            .tenants
+            .iter()
+            .filter_map(|t| t.share)
+            .map(|s| (s * total_lines as f64).round() as usize)
+            .sum();
+        let implicit = self.tenants.iter().filter(|t| t.share.is_none()).count();
+        let leftover = total_lines.saturating_sub(explicit_lines);
+        let mut fallback: Vec<usize> = Vec::with_capacity(n);
+        let mut implicit_seen = 0usize;
+        for t in &self.tenants {
+            fallback.push(match t.share {
+                Some(s) => (s * total_lines as f64).round() as usize,
+                None => {
+                    implicit_seen += 1;
+                    leftover / implicit + usize::from(implicit_seen <= leftover % implicit)
+                }
+            });
+        }
+        for i in 0..n {
+            fallback[i] = fallback[i].clamp(min[i], max[i]);
+        }
+        rebalance_targets(&mut fallback, &min, &max, total_lines);
+        debug_assert_eq!(fallback.iter().sum::<usize>(), total_lines);
+        Ok(CompiledQos {
+            total_lines,
+            names: self.tenants.iter().map(|t| t.name.clone()).collect(),
+            priorities: self.tenants.iter().map(|t| t.priority).collect(),
+            min_lines: min,
+            max_lines: max,
+            slo_miss_ratio: self.tenants.iter().map(|t| t.slo_miss_ratio).collect(),
+            fallback,
+        })
+    }
+}
+
+/// Adjust `targets` in place until it sums to exactly `total`, never
+/// moving any entry outside its `[min, max]` bound. Surplus is taken
+/// from (and deficit handed to) tenants in index order, spread evenly
+/// across the tenants with slack each pass — deterministic, and
+/// allocation-free so the per-epoch re-solve can call it
+/// (`tests/no_alloc_hot_path.rs`, re-solve arm).
+///
+/// # Panics
+/// Panics (in debug builds) if no feasible vector exists, i.e.
+/// `sum(min) > total` or `sum(max) < total` — [`QosBuilder::compile`]
+/// rejects both up front.
+pub fn rebalance_targets(targets: &mut [usize], min: &[usize], max: &[usize], total: usize) {
+    debug_assert!(min.iter().sum::<usize>() <= total);
+    debug_assert!(max.iter().fold(0usize, |a, &m| a.saturating_add(m)) >= total);
+    loop {
+        let sum: usize = targets.iter().sum();
+        if sum == total {
+            return;
+        }
+        if sum < total {
+            let mut deficit = total - sum;
+            let slack = targets
+                .iter()
+                .zip(max)
+                .filter(|&(t, m)| t < m)
+                .count()
+                .max(1);
+            let each = (deficit / slack).max(1);
+            for (t, &m) in targets.iter_mut().zip(max) {
+                if deficit == 0 {
+                    break;
+                }
+                let add = each.min(m - *t).min(deficit);
+                *t += add;
+                deficit -= add;
+            }
+        } else {
+            let mut surplus = sum - total;
+            let slack = targets
+                .iter()
+                .zip(min)
+                .filter(|&(t, m)| t > m)
+                .count()
+                .max(1);
+            let each = (surplus / slack).max(1);
+            for (t, &m) in targets.iter_mut().zip(min) {
+                if surplus == 0 {
+                    break;
+                }
+                let take = each.min(*t - m).min(surplus);
+                *t -= take;
+                surplus -= take;
+            }
+        }
+    }
+}
+
+/// The validated, immutable output of [`QosBuilder::compile`]: bounds,
+/// priorities and SLOs in struct-of-arrays form (tenant index =
+/// partition id), plus the share-derived fallback target vector that
+/// doubles as the initial allocation and the cold-tenant pin.
+#[derive(Clone, Debug)]
+pub struct CompiledQos {
+    total_lines: usize,
+    names: Vec<String>,
+    priorities: Vec<f64>,
+    min_lines: Vec<usize>,
+    max_lines: Vec<usize>,
+    slo_miss_ratio: Vec<Option<f64>>,
+    fallback: Vec<usize>,
+}
+
+impl CompiledQos {
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The cache size everything was compiled against, in lines.
+    pub fn total_lines(&self) -> usize {
+        self.total_lines
+    }
+
+    /// Tenant `i`'s name.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Per-tenant priority weights (solver multipliers).
+    pub fn priorities(&self) -> &[f64] {
+        &self.priorities
+    }
+
+    /// Per-tenant guaranteed minima, in lines.
+    pub fn min_lines(&self) -> &[usize] {
+        &self.min_lines
+    }
+
+    /// Per-tenant ceilings, in lines.
+    pub fn max_lines(&self) -> &[usize] {
+        &self.max_lines
+    }
+
+    /// Tenant `i`'s SLO miss-ratio ceiling, if one was declared.
+    pub fn slo_miss_ratio(&self, i: usize) -> Option<f64> {
+        self.slo_miss_ratio[i]
+    }
+
+    /// The share-derived target vector: initial targets at driver
+    /// start, and the per-tenant fallback the allocator pins a tenant
+    /// to while its monitor is cold. Sums to exactly
+    /// [`total_lines`](Self::total_lines).
+    pub fn initial_targets(&self) -> &[usize] {
+        &self.fallback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_minima_and_remainders_compile_to_full_coverage() {
+        let qos = QosBuilder::new()
+            .tenant(TenantSpec::named("hot").share(0.5))
+            .tenant(TenantSpec::named("warm").min_lines(100))
+            .tenant(TenantSpec::named("cold"))
+            .compile(1000)
+            .unwrap();
+        assert_eq!(qos.initial_targets(), &[500, 250, 250]);
+        assert_eq!(qos.min_lines(), &[0, 100, 0]);
+        assert_eq!(qos.max_lines(), &[1000, 1000, 1000]);
+    }
+
+    #[test]
+    fn clamped_shares_rebalance_to_exact_total() {
+        // "hot" asks for 90% but is capped at 200 lines: the surplus
+        // must flow to the others without violating any bound.
+        let qos = QosBuilder::new()
+            .tenant(TenantSpec::named("hot").share(0.9).max_lines(200))
+            .tenant(TenantSpec::named("a"))
+            .tenant(TenantSpec::named("b").max_lines(300))
+            .compile(1000)
+            .unwrap();
+        let t = qos.initial_targets();
+        assert_eq!(t.iter().sum::<usize>(), 1000);
+        assert_eq!(t[0], 200);
+        assert!(t[2] <= 300);
+    }
+
+    #[test]
+    fn validation_rejects_each_bad_spec() {
+        let compile = |b: QosBuilder| b.compile(1000);
+        assert_eq!(
+            compile(QosBuilder::new()).map(|_| ()),
+            Err(QosError::NoTenants)
+        );
+        let cases: Vec<(QosBuilder, &str)> = vec![
+            (
+                QosBuilder::new().tenant(TenantSpec::named("")),
+                "empty name",
+            ),
+            (
+                QosBuilder::new()
+                    .tenant(TenantSpec::named("x"))
+                    .tenant(TenantSpec::named("x")),
+                "duplicate",
+            ),
+            (
+                QosBuilder::new().tenant(TenantSpec::named("x").priority(0.0)),
+                "priority",
+            ),
+            (
+                QosBuilder::new().tenant(TenantSpec::named("x").share(1.5)),
+                "share",
+            ),
+            (
+                QosBuilder::new().tenant(TenantSpec::named("x").min_lines(10).max_lines(5)),
+                "min_lines",
+            ),
+            (
+                QosBuilder::new().tenant(TenantSpec::named("x").slo_miss_ratio(0.0)),
+                "SLO",
+            ),
+        ];
+        for (b, what) in cases {
+            let err = compile(b).map(|_| ()).unwrap_err();
+            assert!(
+                matches!(err, QosError::BadTenant { .. }),
+                "{what}: got {err}"
+            );
+            assert!(err.to_string().contains(what), "{what}: got {err}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_infeasible_sets() {
+        let over = QosBuilder::new()
+            .tenant(TenantSpec::named("a").share(0.7))
+            .tenant(TenantSpec::named("b").share(0.7))
+            .compile(1000)
+            .unwrap_err();
+        assert!(matches!(over, QosError::Infeasible(_)), "{over}");
+        let mins = QosBuilder::new()
+            .tenant(TenantSpec::named("a").min_lines(700))
+            .tenant(TenantSpec::named("b").min_lines(700))
+            .compile(1000)
+            .unwrap_err();
+        assert!(matches!(mins, QosError::Infeasible(_)), "{mins}");
+        let maxs = QosBuilder::new()
+            .tenant(TenantSpec::named("a").max_lines(300))
+            .tenant(TenantSpec::named("b").max_lines(300))
+            .compile(1000)
+            .unwrap_err();
+        assert!(matches!(maxs, QosError::Infeasible(_)), "{maxs}");
+    }
+
+    #[test]
+    fn rebalance_converges_from_both_sides() {
+        let min = [0usize, 10, 0];
+        let max = [50usize, 100, 100];
+        let mut under = [0usize, 10, 0];
+        rebalance_targets(&mut under, &min, &max, 200);
+        assert_eq!(under.iter().sum::<usize>(), 200);
+        assert!(under.iter().zip(&max).all(|(t, m)| t <= m));
+        let mut over = [50usize, 100, 100];
+        rebalance_targets(&mut over, &min, &max, 60);
+        assert_eq!(over.iter().sum::<usize>(), 60);
+        assert!(over.iter().zip(&min).all(|(t, m)| t >= m));
+    }
+}

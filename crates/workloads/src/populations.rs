@@ -49,8 +49,17 @@ pub struct MultiZipf {
     /// Table index per partition.
     table_of: Vec<usize>,
     tables: Vec<Zipf>,
+    /// Raw (unnormalized) traffic weights, one entry per partition —
+    /// kept so [`set_weight`](Self::set_weight) storms can rebuild the
+    /// cumulative distribution.
+    weights: Vec<f64>,
     /// Cumulative normalized traffic weights, one entry per partition.
     cum_weight: Vec<f64>,
+    /// Per-partition popularity rotation: rank `r` is remapped to item
+    /// `(r + rotation) % items`, modeling popularity drift (the hot
+    /// head moves to previously-cold items) without changing the
+    /// population's size or skew.
+    rotation: Vec<usize>,
 }
 
 impl MultiZipf {
@@ -70,8 +79,7 @@ impl MultiZipf {
         let mut tables: Vec<Zipf> = Vec::new();
         let mut keys: Vec<(usize, u64)> = Vec::new();
         let mut table_of = Vec::with_capacity(pops.len());
-        let mut cum_weight = Vec::with_capacity(pops.len());
-        let mut acc = 0.0;
+        let mut weights = Vec::with_capacity(pops.len());
         for p in pops {
             assert!(
                 (p.items as u64) <= ADDR_STRIDE,
@@ -91,20 +99,37 @@ impl MultiZipf {
                 }
             };
             table_of.push(idx);
-            acc += p.weight;
-            cum_weight.push(acc);
+            weights.push(p.weight);
+        }
+        let n = pops.len();
+        let mut m = MultiZipf {
+            table_of,
+            tables,
+            weights,
+            cum_weight: vec![0.0; n],
+            rotation: vec![0; n],
+        };
+        m.rebuild_cum();
+        m
+    }
+
+    /// Recompute the cumulative sampling distribution from the raw
+    /// weights.
+    ///
+    /// # Panics
+    /// Panics if the total weight is not positive and finite.
+    fn rebuild_cum(&mut self) {
+        let mut acc = 0.0;
+        for (c, &w) in self.cum_weight.iter_mut().zip(&self.weights) {
+            acc += w;
+            *c = acc;
         }
         assert!(
             acc > 0.0 && acc.is_finite(),
             "total traffic weight must be positive"
         );
-        for c in &mut cum_weight {
+        for c in &mut self.cum_weight {
             *c /= acc;
-        }
-        MultiZipf {
-            table_of,
-            tables,
-            cum_weight,
         }
     }
 
@@ -138,6 +163,37 @@ impl MultiZipf {
             .sum()
     }
 
+    /// Partition `part`'s current raw traffic weight.
+    pub fn weight(&self, part: PartitionId) -> f64 {
+        self.weights[part.index()]
+    }
+
+    /// Re-weight partition `part`'s traffic — the allocation-storm
+    /// primitive. Weight `0.0` models tenant *departure* (it stops
+    /// producing accesses; its population stays addressable), a later
+    /// positive weight models *arrival* or a step change in load. The
+    /// change applies to the next [`sample`](Self::sample); sampling
+    /// stays deterministic in the seed across any storm schedule.
+    ///
+    /// # Panics
+    /// Panics if `weight` is negative or non-finite, or if every
+    /// partition's weight would be zero.
+    pub fn set_weight(&mut self, part: PartitionId, weight: f64) {
+        assert!(weight >= 0.0 && weight.is_finite(), "bad traffic weight");
+        self.weights[part.index()] = weight;
+        self.rebuild_cum();
+    }
+
+    /// Drift partition `part`'s popularity by `offset` ranks: rank `r`
+    /// now maps to item `(r + offset) % items`, so the Zipf head lands
+    /// on previously-cold lines while size and skew are unchanged. The
+    /// offset is absolute (not cumulative); `0` restores the original
+    /// mapping.
+    pub fn set_drift(&mut self, part: PartitionId, offset: usize) {
+        let i = part.index();
+        self.rotation[i] = offset % self.tables[self.table_of[i]].len();
+    }
+
     /// Draw one access: a partition by traffic weight, then a line of
     /// its population by popularity.
     pub fn sample(&self, rng: &mut Prng) -> (PartitionId, u64) {
@@ -150,8 +206,20 @@ impl MultiZipf {
             Err(i) => i.min(self.cum_weight.len() - 1),
         };
         let part = PartitionId(i as u16);
-        let rank = self.tables[self.table_of[i]].sample(rng);
-        (part, addr_of(part, rank))
+        let table = &self.tables[self.table_of[i]];
+        let rank = table.sample(rng);
+        let rot = self.rotation[i];
+        let item = if rot == 0 {
+            rank
+        } else {
+            let r = rank + rot;
+            if r >= table.len() {
+                r - table.len()
+            } else {
+                r
+            }
+        };
+        (part, addr_of(part, item))
     }
 
     /// Append `n` sampled accesses to `block`.
@@ -239,6 +307,67 @@ mod tests {
         assert_eq!(a.addrs(), b.addrs());
         assert_eq!(a.parts(), b.parts());
         assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn reweighting_models_departure_and_arrival() {
+        let mut m = MultiZipf::uniform_mix(3, 50, 0.8);
+        // Departure: partition 1 stops producing traffic entirely.
+        m.set_weight(PartitionId(1), 0.0);
+        let mut rng = Prng::seed_from_u64(9);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[m.sample(&mut rng).0.index()] += 1;
+        }
+        assert_eq!(counts[1], 0, "departed tenant got traffic: {counts:?}");
+        assert!(counts[0] > 0 && counts[2] > 0);
+        // Arrival with a 2x step: it now carries ~half the traffic.
+        m.set_weight(PartitionId(1), 2.0);
+        assert_eq!(m.weight(PartitionId(1)), 2.0);
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[m.sample(&mut rng).0.index()] += 1;
+        }
+        let share = counts[1] as f64 / 40_000.0;
+        assert!((share - 0.5).abs() < 0.02, "{counts:?}");
+    }
+
+    #[test]
+    fn drift_moves_the_hot_head_without_changing_the_footprint() {
+        let mut m = MultiZipf::uniform_mix(1, 100, 1.2);
+        let hot = |m: &MultiZipf, seed: u64| {
+            let mut rng = Prng::seed_from_u64(seed);
+            let mut counts = [0u32; 100];
+            for _ in 0..50_000 {
+                counts[(m.sample(&mut rng).1 % ADDR_STRIDE) as usize] += 1;
+            }
+            (0..100).max_by_key(|&k| counts[k]).unwrap()
+        };
+        assert_eq!(hot(&m, 2), 0, "undrifted head is rank 0");
+        m.set_drift(PartitionId(0), 40);
+        assert_eq!(hot(&m, 2), 40, "drift relocates the head");
+        // Ranks stay in range and the offset is absolute, not cumulative.
+        m.set_drift(PartitionId(0), 140);
+        assert_eq!(hot(&m, 2), 40, "offset wraps modulo items");
+        m.set_drift(PartitionId(0), 0);
+        assert_eq!(hot(&m, 2), 0, "zero restores the original mapping");
+    }
+
+    #[test]
+    fn storm_schedule_is_deterministic_in_the_seed() {
+        let run = || {
+            let mut m = MultiZipf::uniform_mix(4, 200, 1.0);
+            let mut rng = Prng::seed_from_u64(11);
+            let mut block = AccessBlock::new();
+            m.fill(&mut block, 500, &mut rng);
+            m.set_weight(PartitionId(2), 0.0);
+            m.set_drift(PartitionId(0), 17);
+            m.fill(&mut block, 500, &mut rng);
+            m.set_weight(PartitionId(2), 3.0);
+            m.fill(&mut block, 500, &mut rng);
+            (block.parts().to_vec(), block.addrs().to_vec())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

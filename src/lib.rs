@@ -20,6 +20,7 @@
 //! | [`schemes`] | `baselines` | PF, CQVP, PriSM, Vantage, FullAssoc |
 //! | [`spec_workloads`] | `workloads` | synthetic SPEC-like traces, drivers |
 //! | [`qos`] | `simqos` | CMP timing model, allocation policies |
+//! | [`tenants`] | `tenancy` | QoS builder, utility allocator, closed loop |
 //! | [`reports`] | `analysis` | CDFs, summaries, tables |
 //!
 //! # Quickstart
@@ -51,6 +52,7 @@ pub use cachesim as sim;
 pub use futility_core as fs;
 pub use ranking as rankings;
 pub use simqos as qos;
+pub use tenancy as tenants;
 pub use workloads as spec_workloads;
 
 /// The most common imports for working with the library.
@@ -68,5 +70,6 @@ pub mod prelude {
     pub use futility_core::{FeedbackConfig, FsAnalytic, FsFeedback};
     pub use ranking::{CoarseLru, ExactLru, Lfu, Opt, RandomRanking, Rrip};
     pub use simqos::{System, SystemConfig, Thread};
+    pub use tenancy::{QosBuilder, TenancyDriver, TenantSpec, UmonConfig, UtilityAllocator};
     pub use workloads::{benchmark, BenchmarkProfile, InterleavedDriver, RateControlledDriver};
 }

@@ -294,6 +294,78 @@ fn warm_access_between_checkpoints_never_allocates() {
     }
 }
 
+/// The tenancy closed loop must be as allocation-free as the raw
+/// sharded path once warm (DESIGN.md §13): `Umon::observe` walks
+/// fixed-size shadow stacks, the re-solve writes into the allocator's
+/// preallocated curve/scratch/target buffers, the driver's staging
+/// block for epoch-straddling sub-ranges reaches its high-water mark
+/// during warmup, and `set_targets` reuses the engine's per-shard
+/// division scratch. With event recording off (the default), whole
+/// passes — including every mid-block re-solve they contain — must
+/// allocate nothing.
+#[test]
+fn warm_tenancy_loop_with_resolves_never_allocates() {
+    use cachesim::AccessBlock;
+    use tenancy::{QosBuilder, TenancyDriver, TenantSpec, UmonConfig, UtilityAllocator};
+
+    const TENANTS: usize = 3;
+    let qos = QosBuilder::new()
+        .tenant(TenantSpec::named("a").share(0.4).min_lines(LINES / 8))
+        .tenant(TenantSpec::named("b").max_lines(LINES / 2))
+        .tenant(TenantSpec::named("c").priority(2.0))
+        .compile(LINES)
+        .unwrap();
+    let alloc = UtilityAllocator::new(qos, LINES / 32, UmonConfig::default());
+    let engine = fs_bench::sharded_engine_for("fs-feedback", LINES, 4, TENANTS, 7);
+    // Cadence 777 with 512-access blocks: every epoch boundary lands
+    // mid-block, so each pass exercises the staging split path and
+    // several full re-solves.
+    let mut driver = TenancyDriver::new(engine, alloc, 777);
+    driver.engine_mut().set_sample_deviation(false);
+
+    let mut rng = Prng::seed_from_u64(seed_for("no_alloc_tenancy", 0));
+    let mut blocks = Vec::new();
+    let mut cur = AccessBlock::new();
+    for _ in 0..ACCESSES {
+        let t = rng.gen_range(0..TENANTS as u64) as u16;
+        // Tenant 0 reuses a tiny hot set; the others roam wider, so
+        // the re-solves keep moving capacity while the loop runs.
+        let addr = ((t as u64) << 40) | rng.gen_range(0..40 + 600 * t as u64);
+        cur.push(PartitionId(t), addr, AccessMeta::default());
+        if cur.len() == 512 {
+            blocks.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        blocks.push(cur);
+    }
+
+    let mut consecutive_clean = 0;
+    for _ in 0..10 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for b in &blocks {
+            driver.feed(b);
+        }
+        if ALLOCS.load(Ordering::Relaxed) == before {
+            consecutive_clean += 1;
+            if consecutive_clean == 2 {
+                break;
+            }
+        } else {
+            consecutive_clean = 0;
+        }
+    }
+    assert!(
+        driver.epochs() >= 25,
+        "re-solves must be active during the counted passes, got {}",
+        driver.epochs()
+    );
+    assert!(
+        consecutive_clean >= 2,
+        "warm tenancy loop allocated (never reached steady state)"
+    );
+}
+
 #[test]
 fn stats_construction_is_cheap_and_histogram_lazy() {
     // Constructing stats for many partitions must be O(partitions)
