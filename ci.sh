@@ -18,16 +18,18 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== unsafe-adjacent structure checks (miri or debug-assertions) =="
 # The arena-backed treaps (ostree) use unchecked indexing in release,
-# the fxmap hasher feeds every hot map, and the swar bit-twiddled argmax
-# drives byte-lane victim selection; run their unit tests under Miri
-# when the component exists, otherwise under an optimized build with
-# debug assertions re-enabled so the debug_assert! bounds and invariant
+# the fxmap hasher feeds every hot map, the swar bit-twiddled argmax
+# drives byte-lane victim selection, and the bucketrank slab arena
+# (intrusive doubly-linked bucket lists behind the coarse fast lane)
+# splices raw u32 indices; run their unit tests under Miri when the
+# component exists, otherwise under an optimized build with debug
+# assertions re-enabled so the debug_assert! bounds and invariant
 # checks fire in release-equivalent codegen.
 if cargo miri --version >/dev/null 2>&1; then
-    cargo miri test -q -p cachesim -- ostree:: fxmap:: swar::
+    cargo miri test -q -p cachesim -- ostree:: fxmap:: swar:: bucketrank::
 else
     RUSTFLAGS="${RUSTFLAGS:-} -C debug-assertions=on" \
-        cargo test -q --release --offline -p cachesim -- ostree:: fxmap:: swar::
+        cargo test -q --release --offline -p cachesim -- ostree:: fxmap:: swar:: bucketrank::
 fi
 
 echo "== bench_engine --smoke =="

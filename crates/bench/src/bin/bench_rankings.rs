@@ -1,7 +1,11 @@
 //! Micro-benchmarks of the futility rankings: update cost
-//! (insert/hit/evict) and rank-query cost at realistic pool sizes.
-//! The coarse-grain timestamp LRU is the paper's O(1) hardware design;
-//! the exact rankings pay an O(log n) order-statistic query.
+//! (insert/hit/evict), rank-query cost and exact-rank (`true_futility`)
+//! cost at realistic pool sizes. The coarse-grain timestamp LRU is the
+//! paper's O(1) hardware design; the exact rankings pay an O(log n)
+//! order-statistic query. The `-bucket` rows are the treap-free
+//! two-level bucket backends (DESIGN.md §14) — same futility values as
+//! their treap counterparts, O(1) updates and an O(16) counting-prefix
+//! exact rank, which is the bucket-vs-treap arm of ROADMAP item 3.
 
 use cachesim::prng::Prng;
 use cachesim::{AccessMeta, FutilityRanking, PartitionId};
@@ -9,6 +13,21 @@ use fs_bench::timing::{black_box, Group};
 
 const POOL: u64 = 16_384;
 const P: PartitionId = PartitionId(0);
+
+const UPDATE_RANKINGS: [&str; 8] = [
+    "coarse-lru",
+    "coarse-lru-bucket",
+    "lru",
+    "lfu",
+    "opt",
+    "random",
+    "rrip",
+    "rrip-bucket",
+];
+
+/// The coarse families, treap vs bucket: the pairs whose exact-rank
+/// (shadow descent vs counting prefix-sum) gap drives the miss path.
+const COARSE_PAIRS: [&str; 4] = ["coarse-lru", "coarse-lru-bucket", "rrip", "rrip-bucket"];
 
 fn filled(name: &str) -> Box<dyn FutilityRanking> {
     let mut r = fs_bench::futility_ranking(name);
@@ -21,7 +40,7 @@ fn filled(name: &str) -> Box<dyn FutilityRanking> {
 
 fn main() {
     let mut group = Group::new("ranking_hit_update");
-    for name in ["coarse-lru", "lru", "lfu", "opt", "random"] {
+    for name in UPDATE_RANKINGS {
         let mut r = filled(name);
         let mut rng = Prng::seed_from_u64(1);
         let mut t = POOL;
@@ -34,7 +53,7 @@ fn main() {
     group.finish();
 
     let mut group = Group::new("ranking_futility_query");
-    for name in ["coarse-lru", "lru", "lfu", "opt", "random"] {
+    for name in UPDATE_RANKINGS {
         let r = filled(name);
         let mut rng = Prng::seed_from_u64(2);
         group.bench(name, || {
@@ -44,9 +63,29 @@ fn main() {
     }
     group.finish();
 
+    // The per-eviction exact rank: the treap backends descend their
+    // shadow tree, the bucket backends answer from 16-lane counter rows.
+    let mut group = Group::new("ranking_true_futility");
+    for name in COARSE_PAIRS {
+        let r = filled(name);
+        let mut rng = Prng::seed_from_u64(3);
+        group.bench(name, || {
+            let addr = rng.gen_range(0..POOL);
+            black_box(r.true_futility(P, addr));
+        });
+    }
+    group.finish();
+
     // Insert+evict pairs: the miss-path bookkeeping.
     let mut group = Group::new("ranking_insert_evict");
-    for name in ["coarse-lru", "lru", "opt"] {
+    for name in [
+        "coarse-lru",
+        "coarse-lru-bucket",
+        "lru",
+        "opt",
+        "rrip",
+        "rrip-bucket",
+    ] {
         let mut r = filled(name);
         let mut t = POOL;
         let mut victim = 0u64;

@@ -23,12 +23,21 @@
 //! Usage:
 //!   bench_sharded [--smoke|--quick] [--jobs N] [--out FILE]
 //!   bench_sharded --ab-missrun [--smoke|--quick]   # certain-miss gather A/B
+//!   bench_sharded --ab-bucket [--smoke|--quick]    # bucket-vs-treap ranking A/B
 //!   bench_sharded --validate FILE [--against BASE]
 //!
-//! The A/B mode re-runs the PR 8 certain-miss-gathering experiment at
+//! `--ab-missrun` re-runs the PR 8 certain-miss-gathering experiment at
 //! DRAM-bound geometry: one unsharded engine, gather cap 16 vs cap 1
 //! (observably identical by the certain-miss proof), interleaved timed
 //! passes — the post-mortem predicted gathering only pays off here.
+//!
+//! `--ab-bucket` is the 1M-line cell of the PR 10 bucket-vs-treap
+//! ranking A/B (ROADMAP item 3): the same fs-feedback geometry built
+//! through [`fs_bench::sharded_engine_for_backend`] with the treap-free
+//! [`ranking::BucketCoarseLru`] vs the default treap-backed coarse LRU,
+//! interleaved timed passes, gated on identical merged hit/miss
+//! outcomes (the backends are futility-value-identical by
+//! `tests/bucket_vs_treap.rs`, so any divergence is a wiring bug).
 
 use cachesim::engine::AccessBlock;
 use cachesim::prng::{seed_for, Prng};
@@ -444,6 +453,77 @@ fn ab_missrun() {
     );
 }
 
+/// Satellite of the PR 10 treap-retirement: the bucket-vs-treap coarse
+/// ranking A/B at the sharded 1M-line geometry. One engine per arm,
+/// identical seeds and trace, interleaved timed passes; the merged
+/// hit/miss totals must match exactly or the run aborts.
+fn ab_bucket() {
+    let scale = Scale::from_args();
+    let lines = total_lines(scale);
+    let (parts, shards, pairs) = match scale {
+        Scale::Full | Scale::Quick => (128, 8, 4),
+        Scale::Smoke => (16, 4, 2),
+    };
+    let per_part = lines / parts;
+    let items = FOOTPRINT_X * per_part;
+    let measured = measured_accesses(lines);
+
+    let build = |backend: &str| {
+        let mut e = fs_bench::sharded_engine_for_backend(
+            "fs-feedback",
+            lines,
+            shards,
+            parts,
+            seed_for("bench_sharded_ab_bucket", 0),
+            backend,
+        );
+        e.set_jobs(fs_bench::cli_jobs());
+        e.set_sample_deviation(false);
+        e
+    };
+    let mut treap = build("treap");
+    let mut bucket = build("bucket");
+
+    let gen = MultiZipf::uniform_mix(parts, items, ALPHA);
+    let mut rng = Prng::seed_from_u64(seed_for("bench_sharded_ab_bucket_trace", 0));
+    for b in generate_blocks(&gen, 3 * lines, &mut rng) {
+        treap.access_batch(&b);
+        bucket.access_batch(&b);
+    }
+    let blocks = generate_blocks(&gen, measured, &mut rng);
+
+    let time_pass = |e: &mut ShardedEngine| {
+        let t0 = Instant::now();
+        for b in &blocks {
+            e.access_batch(b);
+        }
+        measured as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    let mut log_ratio = 0.0f64;
+    for p in 0..pairs {
+        let t = time_pass(&mut treap);
+        let b = time_pass(&mut bucket);
+        println!(
+            "pair {p}: treap {t:>12.0} acc/s  bucket {b:>12.0} acc/s  speedup {:.3}",
+            b / t
+        );
+        log_ratio += (b / t).ln();
+    }
+
+    let (st, sb) = (treap.merged_stats(), bucket.merged_stats());
+    assert_eq!(
+        (st.total_hits(), st.total_misses()),
+        (sb.total_hits(), sb.total_misses()),
+        "bucket and treap arms diverged — backends must be outcome-identical"
+    );
+    let miss = st.total_misses() as f64 / (st.total_hits() + st.total_misses()).max(1) as f64;
+    println!(
+        "A/B bucket-vs-treap coarse LRU at {lines} lines / {parts} parts / {shards} shards \
+         (miss rate {miss:.3}, outcomes identical): pooled geomean speedup {:.3}",
+        (log_ratio / pairs as f64).exp()
+    );
+}
+
 /// Dependency-free validation of an emitted file: a cell for every
 /// grid point of the file's scale, and a finite positive geomean.
 fn validate(path: &str) {
@@ -540,6 +620,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--ab-missrun") {
         ab_missrun();
+        return;
+    }
+    if args.iter().any(|a| a == "--ab-bucket") {
+        ab_bucket();
         return;
     }
     sweep();

@@ -14,7 +14,7 @@ use cachesim::hashing::LineHash;
 use cachesim::scheme_api::EvictMaxFutility;
 use cachesim::{Engine, EngineCore, FutilityRanking, PartitionScheme, ShardedEngine};
 use futility_core::{FeedbackConfig, FsFeedback};
-use ranking::{CoarseLru, ExactLru, Lfu, Opt, RandomRanking, Rrip};
+use ranking::{BucketCoarseLru, BucketRrip, CoarseLru, ExactLru, Lfu, Opt, RandomRanking, Rrip};
 use std::path::{Path, PathBuf};
 
 pub mod checkpoint;
@@ -145,7 +145,7 @@ pub fn futility_ranking(name: &str) -> Box<dyn FutilityRanking> {
 }
 
 /// Build an engine for one benchmark-grid cell, monomorphized over the
-/// array × ranking × scheme combination (90 concrete [`EngineCore`]s
+/// array × ranking × scheme combination (120 concrete [`EngineCore`]s
 /// behind one object-safe [`Engine`]). The array geometry matches
 /// `bench_engine`'s grid: 16 candidate ways per array kind at the given
 /// line count. The scheme dimension is devirtualized for the two fast
@@ -154,6 +154,16 @@ pub fn futility_ranking(name: &str) -> Box<dyn FutilityRanking> {
 /// `notify_insert`/`notify_evict` hooks then inline to constants on the
 /// batched miss path; the remaining baselines stay trait objects to
 /// bound the instantiation count (DESIGN.md §10).
+///
+/// The coarse rankings map to their treap-free bucket backends
+/// ([`BucketCoarseLru`] / [`BucketRrip`], DESIGN.md §14), which produce
+/// identical futility values and therefore identical outcomes. Two
+/// exceptions keep the treaps in play: compositions that evict through
+/// `max_futility_line` — the `"full-assoc"` scheme and the
+/// `"fully-assoc"` array — need the exact-shadow tie-order semantics
+/// only the treap backends provide, and the explicit names
+/// `"coarse-lru-treap"` / `"rrip-treap"` request the treap backends
+/// directly (the A/B reference arms of `bench_engine --ab-bucket`).
 ///
 /// Unknown ranking names fall back to the fully boxed
 /// [`PartitionedCache`](cachesim::PartitionedCache) composition;
@@ -167,6 +177,11 @@ pub fn engine_for(
     seed: u64,
     partitions: usize,
 ) -> Box<dyn Engine> {
+    // Compositions whose evictions go through `max_futility_line` keep
+    // the treap backends: its tie order is exact-shadow-defined there,
+    // and the bucket backends' documented tie-order deviation would
+    // change victims (tests/bucket_vs_treap.rs pins the complement).
+    let evicts_by_max_line = scheme_name == "full-assoc" || array == "fully-assoc";
     macro_rules! with_scheme {
         ($arr:expr, $rank:expr) => {
             match scheme_name {
@@ -193,11 +208,15 @@ pub fn engine_for(
         ($arr:expr) => {
             match ranking_name {
                 "lru" => with_scheme!($arr, ExactLru::new()),
-                "coarse-lru" => with_scheme!($arr, CoarseLru::new()),
+                "coarse-lru" if evicts_by_max_line => with_scheme!($arr, CoarseLru::new()),
+                "coarse-lru" | "coarse-lru-bucket" => with_scheme!($arr, BucketCoarseLru::new()),
+                "coarse-lru-treap" => with_scheme!($arr, CoarseLru::new()),
                 "lfu" => with_scheme!($arr, Lfu::new()),
                 "opt" => with_scheme!($arr, Opt::new()),
                 "random" => with_scheme!($arr, RandomRanking::new(0xFACE)),
-                "rrip" => with_scheme!($arr, Rrip::new()),
+                "rrip" if evicts_by_max_line => with_scheme!($arr, Rrip::new()),
+                "rrip" | "rrip-bucket" => with_scheme!($arr, BucketRrip::new()),
+                "rrip-treap" => with_scheme!($arr, Rrip::new()),
                 other => Box::new(EngineCore::new(
                     Box::new($arr) as Box<dyn CacheArray>,
                     futility_ranking(other),
@@ -242,27 +261,71 @@ pub fn sharded_engine_for(
     partitions: usize,
     seed: u64,
 ) -> ShardedEngine {
+    sharded_engine_for_backend(scheme_name, total_lines, shards, partitions, seed, "treap")
+}
+
+/// [`sharded_engine_for`] with the coarse-LRU backend selectable:
+/// `"treap"` (the default — `CoarseLru::without_exact_shadow`, which
+/// every committed sharded golden was pinned against) or `"bucket"`
+/// ([`BucketCoarseLru`]). Both produce identical futility values, so
+/// hit/miss outcomes and occupancies are bit-identical across backends
+/// and only miss-path cost differs; eviction-futility (AEF) statistics
+/// may differ, as neither backend carries the exact shadow.
+///
+/// # Panics
+/// Panics on unknown backend or scheme names, or on a `total_lines`
+/// that does not split into whole 16-way shard arrays.
+pub fn sharded_engine_for_backend(
+    scheme_name: &str,
+    total_lines: usize,
+    shards: usize,
+    partitions: usize,
+    seed: u64,
+    backend: &str,
+) -> ShardedEngine {
     assert!(shards > 0, "need at least one shard");
     assert_eq!(
         total_lines % (shards * 16),
         0,
         "total_lines must split into whole 16-way shard arrays"
     );
+    assert!(
+        backend == "treap" || backend == "bucket",
+        "unknown coarse-LRU backend {backend}"
+    );
     let lines = total_lines / shards;
     ShardedEngine::new(shards, partitions, |i| {
         let shard_seed = cachesim::prng::seed_for("shard", seed ^ (i as u64) << 32);
         let arr = SetAssociative::with_lines(lines, 16, LineHash::new(shard_seed));
-        match scheme_name {
-            "fs-feedback" => Box::new(EngineCore::new(
+        match (scheme_name, backend) {
+            ("fs-feedback", "bucket") => Box::new(EngineCore::new(
+                arr,
+                BucketCoarseLru::new(),
+                FsFeedback::new(FeedbackConfig::default()),
+                partitions,
+            )) as Box<dyn Engine>,
+            ("fs-feedback", _) => Box::new(EngineCore::new(
                 arr,
                 CoarseLru::without_exact_shadow(),
                 FsFeedback::new(FeedbackConfig::default()),
                 partitions,
-            )) as Box<dyn Engine>,
-            "unpartitioned" => Box::new(EngineCore::new(
+            )),
+            ("unpartitioned", "bucket") => Box::new(EngineCore::new(
+                arr,
+                BucketCoarseLru::new(),
+                EvictMaxFutility,
+                partitions,
+            )),
+            ("unpartitioned", _) => Box::new(EngineCore::new(
                 arr,
                 CoarseLru::without_exact_shadow(),
                 EvictMaxFutility,
+                partitions,
+            )),
+            (_, "bucket") => Box::new(EngineCore::new(
+                Box::new(arr) as Box<dyn CacheArray>,
+                Box::new(BucketCoarseLru::new()) as Box<dyn FutilityRanking>,
+                scheme(scheme_name),
                 partitions,
             )),
             _ => Box::new(EngineCore::new(
@@ -353,12 +416,18 @@ mod tests {
         // One cell per scheme arm of the factory: boxed baseline,
         // concrete fs-feedback and concrete unpartitioned (the latter
         // two exercising the monomorphized byte lane where the ranking
-        // supports it).
+        // supports it). The coarse cells are deliberately cross-backend:
+        // `engine_for` hands them the bucket backends while the boxed
+        // reference composition uses the treap rankings — identical
+        // futility values must yield identical outcomes. The `-treap` /
+        // `-bucket` suffixed cells pin the explicit A/B arms.
         for (arr, rank, sch) in [
             ("set-assoc", "lru", "pf"),
             ("zcache", "rrip", "fs-feedback"),
             ("rand-cands", "coarse-lru", "fs-feedback"),
             ("set-assoc", "coarse-lru", "unpartitioned"),
+            ("set-assoc", "coarse-lru-treap", "fs-feedback"),
+            ("zcache", "rrip-bucket", "fs-feedback"),
         ] {
             let mut mono = engine_for(arr, rank, sch, 256, 9, 2);
             let array: Box<dyn CacheArray> = match arr {
@@ -366,7 +435,15 @@ mod tests {
                 "rand-cands" => Box::new(RandomCandidates::new(256, 16, 9)),
                 _ => Box::new(ZCache::new(64, 4, 16, 9)),
             };
-            let mut boxed = PartitionedCache::new(array, futility_ranking(rank), scheme(sch), 2);
+            // The boxed reference always uses the canonical treap
+            // ranking of the family.
+            let boxed_rank = match rank {
+                "coarse-lru-treap" | "coarse-lru-bucket" => "coarse-lru",
+                "rrip-treap" | "rrip-bucket" => "rrip",
+                other => other,
+            };
+            let mut boxed =
+                PartitionedCache::new(array, futility_ranking(boxed_rank), scheme(sch), 2);
             let mut block = AccessBlock::new();
             let mut x = 3u64;
             for _ in 0..4000 {

@@ -1,0 +1,538 @@
+//! Two-level counting-bucket substrate for u8-futility rankings
+//! (DESIGN.md §14).
+//!
+//! The coarse hardware rankings (8-bit timestamp LRU, RRIP) carry at
+//! most 256 distinct futility values, so the order-statistic treap the
+//! exact rankings need — O(log n) insert/remove/rank with ~10 dependent
+//! cache misses per descent — is overkill for them: occupancy-by-value
+//! *counts* answer every query the engine asks. A [`BucketPool`] keeps,
+//! per partition:
+//!
+//! * 256 intrusive doubly-linked **bucket lists** of lines, packed in a
+//!   slab arena (one `u32`-indexed node per resident line, free-listed
+//!   so a warm pool never allocates);
+//! * a two-level counter pyramid — 256 per-bucket `u32` counts viewed
+//!   as 16 rows × 16, plus a 16-lane per-row **summary** — so any
+//!   circular range-rank is three [`swar::sum_u32`](crate::swar::sum_u32)
+//!   row sums;
+//! * a 256-bit occupancy bitmap, making "first non-empty bucket from
+//!   here, circularly" (the degenerate select the fully-associative
+//!   ideal needs) four word scans.
+//!
+//! Every mutation is O(1); every rank query is O(16) independent lane
+//! adds with no pointer chasing. The `ranking` crate's
+//! `BucketCoarseLru`/`BucketRrip` build the full `FutilityRanking`
+//! surface on top (bucket = timestamp tag, resp. aged-RRPV class).
+//!
+//! Within a bucket, lists are ordered by **touch recency**: nodes are
+//! appended at the tail, so the head is the line least recently moved
+//! into the bucket. That order is deterministic, observable (via
+//! [`head_addr`](BucketPool::head_addr) /
+//! [`for_each`](BucketPool::for_each)) and therefore part of the
+//! snapshot contract: serializing lists in order and re-appending on
+//! load reproduces identical bytes on re-save.
+
+use crate::swar::sum_u32;
+
+/// Buckets per pool: one per distinct 8-bit futility value.
+pub const BUCKETS: usize = 256;
+/// Rows of the two-level counter pyramid (16 × 16 = 256).
+const ROWS: usize = 16;
+/// Sentinel index for "no node".
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    addr: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// One partition's bucket structure; see the module docs.
+#[derive(Debug)]
+pub struct BucketPool {
+    /// Slab arena of line nodes; freed slots are chained through
+    /// `next` starting at `free`.
+    nodes: Vec<Node>,
+    free: u32,
+    head: [u32; BUCKETS],
+    tail: [u32; BUCKETS],
+    /// Level 1: lines per bucket.
+    counts: [u32; BUCKETS],
+    /// Level 2: lines per 16-bucket row (`summary[r] = Σ counts[16r..16r+16]`).
+    summary: [u32; ROWS],
+    /// Bit `b` set iff bucket `b` is non-empty.
+    occupied: [u64; 4],
+    len: usize,
+}
+
+impl Default for BucketPool {
+    fn default() -> Self {
+        BucketPool::new()
+    }
+}
+
+impl BucketPool {
+    /// An empty pool; the arena grows on demand and is retained across
+    /// removals (free list), so a warm pool performs no allocation.
+    pub fn new() -> Self {
+        BucketPool {
+            nodes: Vec::new(),
+            free: NIL,
+            head: [NIL; BUCKETS],
+            tail: [NIL; BUCKETS],
+            counts: [0; BUCKETS],
+            summary: [0; ROWS],
+            occupied: [0; 4],
+            len: 0,
+        }
+    }
+
+    /// Total lines across all buckets.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pool tracks no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lines in bucket `b`.
+    pub fn count(&self, b: usize) -> u32 {
+        self.counts[b]
+    }
+
+    /// The address stored at node `idx`.
+    pub fn addr(&self, idx: u32) -> u64 {
+        self.nodes[idx as usize].addr
+    }
+
+    #[inline]
+    fn inc(&mut self, b: usize) {
+        if self.counts[b] == 0 {
+            self.occupied[b >> 6] |= 1u64 << (b & 63);
+        }
+        self.counts[b] += 1;
+        self.summary[b >> 4] += 1;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn dec(&mut self, b: usize) {
+        debug_assert!(self.counts[b] > 0, "dec on empty bucket {b}");
+        self.counts[b] -= 1;
+        if self.counts[b] == 0 {
+            self.occupied[b >> 6] &= !(1u64 << (b & 63));
+        }
+        self.summary[b >> 4] -= 1;
+        self.len -= 1;
+    }
+
+    #[inline]
+    fn link_tail(&mut self, idx: u32, b: usize) {
+        let t = self.tail[b];
+        self.nodes[idx as usize].prev = t;
+        self.nodes[idx as usize].next = NIL;
+        if t == NIL {
+            self.head[b] = idx;
+        } else {
+            self.nodes[t as usize].next = idx;
+        }
+        self.tail[b] = idx;
+    }
+
+    #[inline]
+    fn unlink(&mut self, idx: u32, b: usize) {
+        let Node { prev, next, .. } = self.nodes[idx as usize];
+        if prev == NIL {
+            debug_assert_eq!(self.head[b], idx, "node not in claimed bucket");
+            self.head[b] = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            debug_assert_eq!(self.tail[b], idx, "node not in claimed bucket");
+            self.tail[b] = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+    }
+
+    /// Insert `addr` at the tail of bucket `b`; returns the node index
+    /// the caller must retain (alongside `b`) for `remove`/`move_to_tail`.
+    pub fn insert(&mut self, addr: u64, b: usize) -> u32 {
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            self.free = self.nodes[idx as usize].next;
+            self.nodes[idx as usize].addr = addr;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            assert!(idx != NIL, "bucket arena full");
+            self.nodes.push(Node {
+                addr,
+                prev: NIL,
+                next: NIL,
+            });
+            idx
+        };
+        self.link_tail(idx, b);
+        self.inc(b);
+        idx
+    }
+
+    /// Remove node `idx` from bucket `b`, returning its address and
+    /// recycling the slot.
+    pub fn remove(&mut self, idx: u32, b: usize) -> u64 {
+        let addr = self.nodes[idx as usize].addr;
+        self.unlink(idx, b);
+        self.nodes[idx as usize].next = self.free;
+        self.free = idx;
+        self.dec(b);
+        addr
+    }
+
+    /// Move node `idx` from bucket `from` to the tail of bucket `to`
+    /// (also when `from == to`: a touch refreshes recency order).
+    pub fn move_to_tail(&mut self, idx: u32, from: usize, to: usize) {
+        self.unlink(idx, from);
+        self.link_tail(idx, to);
+        if from != to {
+            self.dec(from);
+            self.inc(to);
+        }
+    }
+
+    /// Splice bucket `from`'s whole list onto the tail of bucket `to`,
+    /// preserving order, in O(1) — the RRIP generation bump ("every
+    /// line of this age class just saturated") becomes one counter move
+    /// instead of a per-line walk.
+    pub fn merge_into(&mut self, from: usize, to: usize) {
+        debug_assert_ne!(from, to, "merging a bucket into itself");
+        let h = self.head[from];
+        if h == NIL {
+            return;
+        }
+        let t = self.tail[to];
+        if t == NIL {
+            self.head[to] = h;
+        } else {
+            self.nodes[t as usize].next = h;
+            self.nodes[h as usize].prev = t;
+        }
+        self.tail[to] = self.tail[from];
+        self.head[from] = NIL;
+        self.tail[from] = NIL;
+        let moved = self.counts[from];
+        if self.counts[to] == 0 && moved > 0 {
+            self.occupied[to >> 6] |= 1u64 << (to & 63);
+        }
+        self.counts[to] += moved;
+        self.counts[from] = 0;
+        self.occupied[from >> 6] &= !(1u64 << (from & 63));
+        self.summary[to >> 4] += moved;
+        self.summary[from >> 4] -= moved;
+    }
+
+    /// The address at the head (least recently appended line) of bucket
+    /// `b`, if any.
+    pub fn head_addr(&self, b: usize) -> Option<u64> {
+        match self.head[b] {
+            NIL => None,
+            idx => Some(self.nodes[idx as usize].addr),
+        }
+    }
+
+    /// Sum of bucket counts over the *inclusive linear* range `lo..=hi`
+    /// via the two-level pyramid: at most two partial rows plus a slice
+    /// of the summary row, each a SWAR row sum.
+    fn range_sum(&self, lo: usize, hi: usize) -> u64 {
+        debug_assert!(lo <= hi && hi < BUCKETS);
+        let (ra, rb) = (lo >> 4, hi >> 4);
+        if ra == rb {
+            return sum_u32(&self.counts[lo..=hi]);
+        }
+        let mut total = sum_u32(&self.counts[lo..((ra + 1) << 4)]);
+        total += sum_u32(&self.counts[(rb << 4)..=hi]);
+        if ra + 1 < rb {
+            total += sum_u32(&self.summary[ra + 1..rb]);
+        }
+        total
+    }
+
+    /// Sum of bucket counts over the *inclusive circular* range from
+    /// `lo` to `hi` (wrapping past 255) — the rank query: for a
+    /// timestamp ranking, lines at distance `≤ d` of current tag `ts`
+    /// occupy the circular tag range `[ts − d, ts]`.
+    pub fn circular_sum(&self, lo: u8, hi: u8) -> u64 {
+        let (lo, hi) = (lo as usize, hi as usize);
+        if lo <= hi {
+            self.range_sum(lo, hi)
+        } else {
+            self.range_sum(lo, BUCKETS - 1) + self.range_sum(0, hi)
+        }
+    }
+
+    /// The first non-empty bucket at or after `start`, scanning
+    /// circularly (so some bucket is always found while the pool is
+    /// non-empty). Four word probes of the occupancy bitmap.
+    pub fn first_occupied_from(&self, start: u8) -> Option<u8> {
+        if self.len == 0 {
+            return None;
+        }
+        let s = start as usize;
+        let (w0, b0) = (s >> 6, s & 63);
+        let high = self.occupied[w0] & (!0u64 << b0);
+        if high != 0 {
+            return Some(((w0 << 6) + high.trailing_zeros() as usize) as u8);
+        }
+        for k in 1..4 {
+            let w = (w0 + k) & 3;
+            if self.occupied[w] != 0 {
+                return Some(((w << 6) + self.occupied[w].trailing_zeros() as usize) as u8);
+            }
+        }
+        let wrap = self.occupied[w0] & !(!0u64 << b0);
+        debug_assert!(wrap != 0, "occupancy bitmap disagrees with len");
+        Some(((w0 << 6) + wrap.trailing_zeros() as usize) as u8)
+    }
+
+    /// Visit every address of bucket `b` in list (touch-recency) order
+    /// — the snapshot serialization order.
+    pub fn for_each(&self, b: usize, mut f: impl FnMut(u64)) {
+        let mut idx = self.head[b];
+        while idx != NIL {
+            let n = self.nodes[idx as usize];
+            f(n.addr);
+            idx = n.next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Oracle: per-bucket deques of addresses, same operations replayed
+    /// naively.
+    #[derive(Default)]
+    struct Model {
+        buckets: Vec<VecDeque<u64>>,
+    }
+
+    impl Model {
+        fn new() -> Self {
+            Model {
+                buckets: vec![VecDeque::new(); BUCKETS],
+            }
+        }
+        fn insert(&mut self, addr: u64, b: usize) {
+            self.buckets[b].push_back(addr);
+        }
+        fn remove(&mut self, addr: u64, b: usize) {
+            let pos = self.buckets[b].iter().position(|&a| a == addr).unwrap();
+            self.buckets[b].remove(pos);
+        }
+        fn move_to_tail(&mut self, addr: u64, from: usize, to: usize) {
+            self.remove(addr, from);
+            self.insert(addr, to);
+        }
+        fn merge_into(&mut self, from: usize, to: usize) {
+            let moved: Vec<u64> = self.buckets[from].drain(..).collect();
+            self.buckets[to].extend(moved);
+        }
+        fn len(&self) -> usize {
+            self.buckets.iter().map(|q| q.len()).sum()
+        }
+        fn circular_sum(&self, lo: u8, hi: u8) -> u64 {
+            let mut b = lo;
+            let mut total = 0;
+            loop {
+                total += self.buckets[b as usize].len() as u64;
+                if b == hi {
+                    return total;
+                }
+                b = b.wrapping_add(1);
+            }
+        }
+        fn first_occupied_from(&self, start: u8) -> Option<u8> {
+            (0..=255u16)
+                .map(|k| start.wrapping_add(k as u8))
+                .find(|&b| !self.buckets[b as usize].is_empty())
+        }
+    }
+
+    fn check_equal(pool: &BucketPool, model: &Model) {
+        assert_eq!(pool.len(), model.len());
+        for b in 0..BUCKETS {
+            assert_eq!(pool.count(b) as usize, model.buckets[b].len(), "bucket {b}");
+            let mut got = Vec::new();
+            pool.for_each(b, |a| got.push(a));
+            let want: Vec<u64> = model.buckets[b].iter().copied().collect();
+            assert_eq!(got, want, "bucket {b} order");
+            assert_eq!(pool.head_addr(b), want.first().copied(), "bucket {b} head");
+        }
+    }
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    #[test]
+    fn randomized_ops_match_reference_model() {
+        let mut pool = BucketPool::new();
+        let mut model = Model::new();
+        // Live set: (addr, node idx, bucket).
+        let mut live: Vec<(u64, u32, usize)> = Vec::new();
+        let mut rng = Lcg(0x5EED_0001);
+        let mut next_addr = 0u64;
+        for step in 0..3000 {
+            match rng.next() % 10 {
+                // Weighted toward inserts early so the pool fills up.
+                0..=3 => {
+                    let b = (rng.next() % BUCKETS as u64) as usize;
+                    next_addr += 1;
+                    let idx = pool.insert(next_addr, b);
+                    model.insert(next_addr, b);
+                    live.push((next_addr, idx, b));
+                }
+                4..=5 if !live.is_empty() => {
+                    let i = (rng.next() as usize) % live.len();
+                    let (addr, idx, b) = live.swap_remove(i);
+                    assert_eq!(pool.remove(idx, b), addr);
+                    model.remove(addr, b);
+                }
+                6..=8 if !live.is_empty() => {
+                    let i = (rng.next() as usize) % live.len();
+                    let to = (rng.next() % BUCKETS as u64) as usize;
+                    let (addr, idx, from) = live[i];
+                    pool.move_to_tail(idx, from, to);
+                    model.move_to_tail(addr, from, to);
+                    live[i].2 = to;
+                }
+                9 => {
+                    let from = (rng.next() % BUCKETS as u64) as usize;
+                    let to = (from + 1 + (rng.next() % 255) as usize) % BUCKETS;
+                    pool.merge_into(from, to);
+                    model.merge_into(from, to);
+                    for e in live.iter_mut() {
+                        if e.2 == from {
+                            e.2 = to;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if step % 97 == 0 {
+                check_equal(&pool, &model);
+            }
+        }
+        check_equal(&pool, &model);
+        // Rank + select queries against the oracle over many ranges.
+        for _ in 0..400 {
+            let lo = (rng.next() % 256) as u8;
+            let hi = (rng.next() % 256) as u8;
+            assert_eq!(
+                pool.circular_sum(lo, hi),
+                model.circular_sum(lo, hi),
+                "sum [{lo},{hi}]"
+            );
+            assert_eq!(
+                pool.first_occupied_from(lo),
+                model.first_occupied_from(lo),
+                "first from {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_pool_answers_queries() {
+        let pool = BucketPool::new();
+        assert_eq!(pool.len(), 0);
+        assert!(pool.is_empty());
+        assert_eq!(pool.circular_sum(0, 255), 0);
+        assert_eq!(pool.circular_sum(200, 10), 0);
+        assert_eq!(pool.first_occupied_from(7), None);
+        assert_eq!(pool.head_addr(0), None);
+    }
+
+    #[test]
+    fn touch_refreshes_order_within_a_bucket() {
+        let mut pool = BucketPool::new();
+        let a = pool.insert(1, 5);
+        let _b = pool.insert(2, 5);
+        let _c = pool.insert(3, 5);
+        assert_eq!(pool.head_addr(5), Some(1));
+        // Same-bucket move: head shifts to the next-oldest line.
+        pool.move_to_tail(a, 5, 5);
+        assert_eq!(pool.head_addr(5), Some(2));
+        let mut order = Vec::new();
+        pool.for_each(5, |x| order.push(x));
+        assert_eq!(order, vec![2, 3, 1]);
+        assert_eq!(pool.count(5), 3);
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn free_list_recycles_slots_without_growth() {
+        let mut pool = BucketPool::new();
+        let mut idxs = Vec::new();
+        for i in 0..64u64 {
+            idxs.push(pool.insert(i, (i % 7) as usize));
+        }
+        let cap = pool.nodes.len();
+        for (i, idx) in idxs.drain(..).enumerate() {
+            pool.remove(idx, i % 7);
+        }
+        for i in 0..64u64 {
+            pool.insert(1000 + i, (i % 11) as usize);
+        }
+        // Steady-state churn reuses the freed slots: the arena never
+        // grew past its peak population.
+        assert_eq!(pool.nodes.len(), cap);
+        assert_eq!(pool.len(), 64);
+    }
+
+    #[test]
+    fn merge_preserves_relative_order() {
+        let mut pool = BucketPool::new();
+        pool.insert(1, 10);
+        pool.insert(2, 10);
+        pool.insert(3, 20);
+        pool.merge_into(10, 20);
+        let mut order = Vec::new();
+        pool.for_each(20, |x| order.push(x));
+        assert_eq!(order, vec![3, 1, 2]);
+        assert_eq!(pool.count(10), 0);
+        assert_eq!(pool.count(20), 3);
+        assert_eq!(pool.head_addr(10), None);
+        assert_eq!(pool.first_occupied_from(0), Some(20));
+        // Merging an empty bucket is a no-op.
+        pool.merge_into(10, 20);
+        assert_eq!(pool.count(20), 3);
+    }
+
+    #[test]
+    fn circular_sum_wraps_exactly() {
+        let mut pool = BucketPool::new();
+        pool.insert(1, 0);
+        pool.insert(2, 255);
+        pool.insert(3, 128);
+        assert_eq!(pool.circular_sum(255, 0), 2);
+        assert_eq!(pool.circular_sum(0, 255), 3);
+        assert_eq!(pool.circular_sum(1, 127), 0);
+        assert_eq!(pool.circular_sum(128, 128), 1);
+        assert_eq!(pool.circular_sum(129, 0), 2);
+        assert_eq!(pool.first_occupied_from(129), Some(255));
+        assert_eq!(pool.first_occupied_from(1), Some(128));
+    }
+}

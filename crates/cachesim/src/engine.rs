@@ -590,6 +590,7 @@ impl<A: CacheArray, R: FutilityRanking, S: PartitionScheme> EngineCore<A, R, S> 
             state: &self.state,
             stats: &self.stats,
             scheme: &self.scheme,
+            ranking: &self.ranking,
         });
         self.recorder = Some(recorder);
     }

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod array;
+pub mod bucketrank;
 pub mod engine;
 pub mod fxmap;
 pub mod hashing;

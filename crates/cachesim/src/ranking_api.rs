@@ -13,7 +13,7 @@
 use crate::fxmap::FxHashMap;
 use crate::ids::{AccessMeta, PartitionId, SlotId};
 use crate::ostree::{OsTreap, RankQuery};
-use crate::scheme_api::Candidate;
+use crate::scheme_api::{Candidate, Probe};
 use crate::snapshot::{read_u64_map, write_u64_map, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// One resident-line hit, as queued by the engine's batched access
@@ -98,6 +98,40 @@ impl HitRunAgg {
         for &slot in &self.touched {
             let s = slot as usize;
             f(&hits[self.last[s] as usize], self.count[s]);
+        }
+    }
+
+    /// Invoke `f(record, is_last)` for **every** record of `hits`, in
+    /// run order, where `is_last` is true iff the record is its line's
+    /// final record of the run.
+    ///
+    /// This is the dedup shape for rankings that replicate a cheap
+    /// per-record half (timestamp/generation ticks, which may observe
+    /// every access) but whose per-line state is a *last-writer-wins*
+    /// overwrite: the expensive part (a bucket move, a map write) runs
+    /// once per distinct line, exactly at the position the scalar
+    /// replay would leave it, so the final per-line state *and* any
+    /// observable touch order match the scalar path bit for bit.
+    pub fn for_each_record_tagged(
+        &mut self,
+        hits: &[HitRecord],
+        mut f: impl FnMut(&HitRecord, bool),
+    ) {
+        for h in hits {
+            let s = h.slot as usize;
+            if s >= self.stamp.len() {
+                // Kept in lockstep with `for_each_line`'s tables (a
+                // shorter `last` there would otherwise truncate ours).
+                self.stamp.resize(s + 1, 0);
+                self.count.resize(s + 1, 0);
+                self.last.resize(s + 1, 0);
+            }
+        }
+        for (i, h) in hits.iter().enumerate() {
+            self.last[h.slot as usize] = i as u32;
+        }
+        for (i, h) in hits.iter().enumerate() {
+            f(h, self.last[h.slot as usize] == i as u32);
         }
     }
 }
@@ -213,6 +247,22 @@ pub trait FutilityRanking: Send {
     /// Number of lines currently tracked in `part`.
     fn pool_len(&self, part: PartitionId) -> usize;
 
+    /// Enable (or disable) the ranking's internal operation counters —
+    /// inserts, removes, hit touches, retags, rank and byte-lane
+    /// queries — surfaced through [`telemetry`](Self::telemetry).
+    /// Follows the lazy/opt-in discipline of the futility histogram:
+    /// disabled (the default, and the default implementation ignores
+    /// the call) the hot path pays at most a predictable branch.
+    fn set_op_probes(&mut self, _enabled: bool) {}
+
+    /// Push ranking-level telemetry probes, sampled by the flight
+    /// recorder on every tick after the scheme's probes. Rankings with
+    /// op counters enabled emit per-interval operation counts here so
+    /// miss-path time can be attributed to ranking ops; the default
+    /// (and any ranking with probes disabled) emits nothing, keeping
+    /// all existing recorder output byte-identical.
+    fn telemetry(&self, _out: &mut Vec<Probe>) {}
+
     /// Serialize all ranking state — pool contents, timestamps, shadow
     /// structures, internal RNG streams — for checkpointing, such that a
     /// restored ranking continues bit-identically (DESIGN.md §11).
@@ -275,6 +325,12 @@ impl<T: FutilityRanking + ?Sized> FutilityRanking for Box<T> {
     }
     fn pool_len(&self, part: PartitionId) -> usize {
         (**self).pool_len(part)
+    }
+    fn set_op_probes(&mut self, enabled: bool) {
+        (**self).set_op_probes(enabled)
+    }
+    fn telemetry(&self, out: &mut Vec<Probe>) {
+        (**self).telemetry(out)
     }
     fn save_state(&self, w: &mut SnapshotWriter) {
         (**self).save_state(w)
@@ -555,6 +611,34 @@ mod tests {
         seen.clear();
         agg.for_each_line(&hits2, |h, n| seen.push((h.slot, h.time, n)));
         assert_eq!(seen, vec![(3, 9, 1)]);
+    }
+
+    #[test]
+    fn tagged_iteration_marks_exactly_the_last_records() {
+        let mut agg = HitRunAgg::new();
+        let rec = |slot: SlotId, time: u64| HitRecord {
+            part: P,
+            addr: 100 + slot as u64,
+            slot,
+            time,
+            meta: AccessMeta::default(),
+        };
+        let hits = [rec(3, 1), rec(7, 2), rec(3, 3), rec(3, 4), rec(1, 5)];
+        let mut seen = Vec::new();
+        agg.for_each_record_tagged(&hits, |h, last| seen.push((h.time, last)));
+        assert_eq!(
+            seen,
+            vec![(1, false), (2, true), (3, false), (4, true), (5, true)]
+        );
+        // Interleaving with `for_each_line` keeps both iterators sound
+        // (shared tables, lockstep growth).
+        let hits2 = [rec(9, 8), rec(3, 9)];
+        seen.clear();
+        agg.for_each_record_tagged(&hits2, |h, last| seen.push((h.time, last)));
+        assert_eq!(seen, vec![(8, true), (9, true)]);
+        let mut lines = Vec::new();
+        agg.for_each_line(&hits, |h, n| lines.push((h.slot, n)));
+        assert_eq!(lines, vec![(3, 3), (7, 1), (1, 1)]);
     }
 
     #[test]

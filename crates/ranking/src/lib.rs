@@ -19,6 +19,9 @@
 //!   [`Trace::annotate_next_use`](cachesim::trace::Trace::annotate_next_use).
 //! * [`RandomRanking`] — futility is a stable per-line hash; the
 //!   futility-blind floor every real ranking must beat.
+//! * [`BucketCoarseLru`] / [`BucketRrip`] — treap-free bucket backends
+//!   for the two coarse rankings: identical futility values, O(1)
+//!   ranking ops, counting-prefix `true_futility` (see `bucketed`).
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 //! assert_eq!(r.max_futility_line(p), Some(0xA)); // oldest line
 //! ```
 
+mod bucketed;
 mod coarse_lru;
 mod exact_lru;
 mod lfu;
@@ -42,6 +46,7 @@ mod pool;
 mod random;
 mod rrip;
 
+pub use bucketed::{BucketCoarseLru, BucketRrip};
 pub use coarse_lru::CoarseLru;
 pub use exact_lru::ExactLru;
 pub use lfu::Lfu;
@@ -51,19 +56,26 @@ pub use rrip::Rrip;
 
 use cachesim::FutilityRanking;
 
-/// Names of all rankings constructible via [`by_name`].
+/// Names of the canonical rankings enumerated by experiment sweeps.
+/// The bucket backends (`"coarse-lru-bucket"`, `"rrip-bucket"`) are
+/// additionally constructible via [`by_name`] but are not listed here:
+/// they produce the same futility values as their treap counterparts,
+/// so sweeping them as separate schemes would double-count.
 pub const ALL_RANKINGS: [&str; 6] = ["lru", "coarse-lru", "lfu", "opt", "random", "rrip"];
 
 /// Construct a ranking by name (`"lru"`, `"coarse-lru"`, `"lfu"`,
-/// `"opt"`, `"random"`). Returns `None` for unknown names.
+/// `"opt"`, `"random"`, `"rrip"`, `"coarse-lru-bucket"`,
+/// `"rrip-bucket"`). Returns `None` for unknown names.
 pub fn by_name(name: &str) -> Option<Box<dyn FutilityRanking>> {
     match name {
         "lru" => Some(Box::new(ExactLru::new())),
         "coarse-lru" => Some(Box::new(CoarseLru::new())),
+        "coarse-lru-bucket" => Some(Box::new(BucketCoarseLru::new())),
         "lfu" => Some(Box::new(Lfu::new())),
         "opt" => Some(Box::new(Opt::new())),
         "random" => Some(Box::new(RandomRanking::new(0xFACE))),
         "rrip" => Some(Box::new(Rrip::new())),
+        "rrip-bucket" => Some(Box::new(BucketRrip::new())),
         _ => None,
     }
 }
@@ -75,6 +87,10 @@ mod tests {
     #[test]
     fn by_name_covers_all_rankings() {
         for name in ALL_RANKINGS {
+            let r = by_name(name).unwrap_or_else(|| panic!("missing ranking {name}"));
+            assert_eq!(r.name(), name);
+        }
+        for name in ["coarse-lru-bucket", "rrip-bucket"] {
             let r = by_name(name).unwrap_or_else(|| panic!("missing ranking {name}"));
             assert_eq!(r.name(), name);
         }

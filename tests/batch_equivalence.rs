@@ -12,7 +12,7 @@ use testkit::{check, int_range, tk_assert, tk_assert_eq, vec_of, CaseResult};
 const PARTS: usize = 3;
 
 const ARRAYS: usize = 5;
-const RANKINGS: usize = 7;
+const RANKINGS: usize = 9;
 const SCHEMES: usize = 6;
 
 fn build(array_idx: usize, ranking_idx: usize, scheme_idx: usize, seed: u64) -> PartitionedCache {
@@ -23,10 +23,14 @@ fn build(array_idx: usize, ranking_idx: usize, scheme_idx: usize, seed: u64) -> 
         3 => Box::new(RandomCandidates::new(32, 4, seed)),
         _ => Box::new(FullyAssociative::new(32)),
     };
-    let ranking: Box<dyn FutilityRanking> = if ranking_idx < 6 {
-        ranking::by_name(ranking::ALL_RANKINGS[ranking_idx]).unwrap()
-    } else {
-        cachesim::naive_lru()
+    // Indices 0..6 are the sweep registry, 6 the naive shadow reference,
+    // 7..9 the treap-free bucket backends (DESIGN.md §14) whose
+    // `on_hit_batch` replays hit runs last-writer-wins.
+    let ranking: Box<dyn FutilityRanking> = match ranking_idx {
+        i if i < 6 => ranking::by_name(ranking::ALL_RANKINGS[i]).unwrap(),
+        6 => cachesim::naive_lru(),
+        7 => ranking::by_name("coarse-lru-bucket").unwrap(),
+        _ => ranking::by_name("rrip-bucket").unwrap(),
     };
     let scheme: Box<dyn PartitionScheme> = match scheme_idx {
         0 => cachesim::evict_max_futility(),
@@ -138,9 +142,15 @@ fn batch_matches_scalar_across_grid() {
 /// replay that resets at the same access index.
 #[test]
 fn batch_straddles_warmup_reset() {
-    for (array_idx, ranking_idx, scheme_idx) in
-        [(0, 0, 3), (1, 6, 1), (2, 1, 4), (3, 5, 5), (4, 2, 0)]
-    {
+    for (array_idx, ranking_idx, scheme_idx) in [
+        (0, 0, 3),
+        (1, 6, 1),
+        (2, 1, 4),
+        (3, 5, 5),
+        (4, 2, 0),
+        (0, 7, 3),
+        (2, 8, 5),
+    ] {
         let mut scalar = build(array_idx, ranking_idx, scheme_idx, 7);
         let mut batched = build(array_idx, ranking_idx, scheme_idx, 7);
         let stream: Vec<(PartitionId, u64)> = (0..1000u64)
@@ -407,7 +417,7 @@ fn byte_lane_matches_f64_path_bit_exactly() {
         [&|| cachesim::evict_max_futility(), &|| {
             Box::new(FsFeedback::default_config())
         }];
-    for ranking_name in ["coarse-lru", "rrip"] {
+    for ranking_name in ["coarse-lru", "rrip", "coarse-lru-bucket", "rrip-bucket"] {
         for make_scheme in schemes {
             let build_one = |scheme: Box<dyn PartitionScheme>| {
                 let mut c = PartitionedCache::new(

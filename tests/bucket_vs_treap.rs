@@ -1,0 +1,277 @@
+//! The bucket-backend equivalence contract (DESIGN.md §14): the
+//! treap-free two-level bucket rankings (`coarse-lru-bucket`,
+//! `rrip-bucket`) produce the *same futility values* as their treap
+//! counterparts, so every composition that selects victims through
+//! candidate futility — the scalar f64 path and the byte-lane SWAR path
+//! alike — must replay identically across backends: the same hit/miss
+//! sequence, the same victim lines, the same occupancies and the same
+//! hit/miss/eviction statistics.
+//!
+//! Documented deviation (the "or" branch of the ROADMAP item 3 gate):
+//! `true_futility` is a counting rank in the bucket backends — lines
+//! sharing a 1/16 futility class share a rank, where the treap's exact
+//! shadow breaks ties by insertion order. That rank feeds only
+//! *observability*: the `Eviction::futility` field of miss outcomes,
+//! the AEF statistic and recorder series, and deviation sampling. It
+//! never picks victims, except through `max_futility_line`, whose
+//! within-class tie order also differs — which is why the `full-assoc`
+//! scheme and the `fully-assoc` array keep treap backends in
+//! `fs_bench::engine_for` and are excluded from the replay grid here
+//! (`max_futility_deviation_is_confined_to_tie_order` pins what *is*
+//! guaranteed for them: the same futility class).
+
+use futility_scaling::prelude::*;
+use testkit::{check, int_range, vec_of, CaseResult};
+
+const PARTS: usize = 3;
+/// Arrays that evict through candidate futility. `FullyAssociative`
+/// (index 4 of the batch grid) evicts through `max_futility_line` and
+/// is deliberately absent.
+const ARRAYS: usize = 4;
+const SCHEMES: usize = 6;
+/// (treap name, bucket name) — the two coarse families.
+const FAMILIES: [(&str, &str); 2] = [("coarse-lru", "coarse-lru-bucket"), ("rrip", "rrip-bucket")];
+
+fn build(array_idx: usize, ranking_name: &str, scheme_idx: usize, seed: u64) -> PartitionedCache {
+    let array: Box<dyn cachesim::array::CacheArray> = match array_idx {
+        0 => Box::new(SetAssociative::new(8, 4, LineHash::new(seed))),
+        1 => Box::new(SkewAssociative::new(8, 4, seed)),
+        2 => Box::new(ZCache::new(8, 4, 8, seed)),
+        _ => Box::new(RandomCandidates::new(32, 4, seed)),
+    };
+    let scheme: Box<dyn PartitionScheme> = match scheme_idx {
+        0 => cachesim::evict_max_futility(),
+        1 => Box::new(Pf),
+        2 => Box::new(Cqvp),
+        3 => Box::new(FsFeedback::default_config()),
+        4 => Box::new(Vantage::default_config()),
+        _ => Box::new(Prism::default_config()),
+    };
+    let mut cache = PartitionedCache::new(
+        array,
+        ranking::by_name(ranking_name).unwrap(),
+        scheme,
+        PARTS,
+    );
+    cache.set_targets(&[16, 10, 6]);
+    cache
+}
+
+/// Outcome equality modulo the one documented deviation: the
+/// `Eviction::futility` observability field may differ (treap exact
+/// rank vs bucket counting rank); everything decision-relevant — hit
+/// vs miss, whether an eviction happened, and *which line* from *which
+/// pool* was evicted — must be identical.
+fn outcomes_agree(a: &AccessOutcome, b: &AccessOutcome) -> bool {
+    match (a, b) {
+        (AccessOutcome::Hit, AccessOutcome::Hit) => true,
+        (AccessOutcome::Miss { evicted: ea }, AccessOutcome::Miss { evicted: eb }) => {
+            match (ea, eb) {
+                (None, None) => true,
+                (Some(x), Some(y)) => x.addr == y.addr && x.part == y.part,
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Replay `stream` through a treap-backed and a bucket-backed build of
+/// the same cell and require agreement on everything decision-relevant.
+fn assert_backends_agree(
+    array_idx: usize,
+    scheme_idx: usize,
+    treap_name: &str,
+    bucket_name: &str,
+    stream: &[(PartitionId, u64)],
+) -> Result<(), String> {
+    let ctx = format!("cell {array_idx}/{scheme_idx} {treap_name} vs {bucket_name}");
+    let mut treap = build(array_idx, treap_name, scheme_idx, 7);
+    let mut bucket = build(array_idx, bucket_name, scheme_idx, 7);
+    for (i, &(p, a)) in stream.iter().enumerate() {
+        let ot = treap.access(p, a, AccessMeta::default());
+        let ob = bucket.access(p, a, AccessMeta::default());
+        if !outcomes_agree(&ot, &ob) {
+            return Err(format!("{ctx}: access {i} diverged: {ot:?} vs {ob:?}"));
+        }
+    }
+    if treap.time() != bucket.time() {
+        return Err(format!("{ctx}: times diverge"));
+    }
+    if treap.state().actual != bucket.state().actual {
+        return Err(format!("{ctx}: occupancies diverge"));
+    }
+    let (st, sb) = (treap.stats(), bucket.stats());
+    if st.total_hits() != sb.total_hits() || st.total_misses() != sb.total_misses() {
+        return Err(format!("{ctx}: hit/miss totals diverge"));
+    }
+    for p in 0..PARTS as u16 {
+        let (pa, pb) = (st.partition(PartitionId(p)), sb.partition(PartitionId(p)));
+        if (pa.hits, pa.misses, pa.evictions) != (pb.hits, pb.misses, pb.evictions) {
+            return Err(format!("{ctx}: partition {p} statistics diverge"));
+        }
+    }
+    Ok(())
+}
+
+/// Churn-heavy deterministic stream: the universe is ~10× the cache so
+/// victim selection runs on most accesses, with periodic re-touches so
+/// futility classes mix.
+fn churn_stream(seed: u64, n: usize) -> Vec<(PartitionId, u64)> {
+    (0..n as u64)
+        .map(|i| {
+            let p = PartitionId(((i ^ seed) % PARTS as u64) as u16);
+            let addr = if i % 7 < 2 {
+                (i * 13) % 24 + p.0 as u64 * 1_000 // resident re-touches
+            } else {
+                (i * 97 + seed) % 360 + 10_000 + p.0 as u64 * 10_000
+            };
+            (p, addr)
+        })
+        .collect()
+}
+
+/// Every futility-selecting cell of the grid, both families: the bucket
+/// backend must replay the treap backend's decisions exactly.
+#[test]
+fn bucket_replays_treap_across_grid() {
+    let mut failures = Vec::new();
+    for array_idx in 0..ARRAYS {
+        for scheme_idx in 0..SCHEMES {
+            for (treap_name, bucket_name) in FAMILIES {
+                let stream = churn_stream((array_idx * 8 + scheme_idx) as u64, 2_500);
+                if let Err(e) =
+                    assert_backends_agree(array_idx, scheme_idx, treap_name, bucket_name, &stream)
+                {
+                    failures.push(e);
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// Generated case: an access stream plus one grid cell and family.
+type AbCase = (Vec<(u16, u64)>, (usize, usize, usize));
+
+fn prop_bucket_matches_treap((raw, (array_idx, scheme_idx, family)): &AbCase) -> CaseResult {
+    let (treap_name, bucket_name) = FAMILIES[family % FAMILIES.len()];
+    let stream: Vec<(PartitionId, u64)> = raw
+        .iter()
+        .map(|&(p, base)| {
+            let part = PartitionId(p % PARTS as u16);
+            // Shared addresses every 5th base so foreign hits (and the
+            // retag machinery of Vantage/PriSM) engage.
+            let addr = if base % 5 == 0 {
+                base
+            } else {
+                base + part.0 as u64 * 1_000
+            };
+            (part, addr)
+        })
+        .collect();
+    assert_backends_agree(*array_idx, *scheme_idx, treap_name, bucket_name, &stream)
+        .map_err(testkit::Failure::fail)
+}
+
+#[test]
+fn bucket_matches_treap_property() {
+    check(
+        "bucket_matches_treap_property",
+        &(
+            vec_of((int_range(0u16..9), int_range(0u64..200)), 50..900),
+            (
+                int_range(0usize..ARRAYS),
+                int_range(0usize..SCHEMES),
+                int_range(0usize..FAMILIES.len()),
+            ),
+        ),
+        prop_bucket_matches_treap,
+    );
+}
+
+/// Recorder agreement: with identical decisions, every recorded series
+/// except `aef` (interval mean eviction futility — fed by the deviating
+/// `true_futility`) must match bit-for-bit across backends. The `aef`
+/// series must still be *present* on both sides, so the exclusion below
+/// stays principled rather than silently widening.
+#[test]
+fn recorder_rows_match_except_aef() {
+    for (array_idx, scheme_idx) in [(0, 3), (2, 0)] {
+        for (treap_name, bucket_name) in FAMILIES {
+            let ctx = format!("cell {array_idx}/{scheme_idx} {bucket_name}");
+            let mut treap = build(array_idx, treap_name, scheme_idx, 7);
+            let mut bucket = build(array_idx, bucket_name, scheme_idx, 7);
+            treap.attach_timeseries(32, 1 << 12);
+            bucket.attach_timeseries(32, 1 << 12);
+            for (p, a) in churn_stream(11, 3_000) {
+                treap.access(p, a, AccessMeta::default());
+                bucket.access(p, a, AccessMeta::default());
+            }
+            let (ta, tb) = (
+                treap.timeseries().expect("recorder attached"),
+                bucket.timeseries().expect("recorder attached"),
+            );
+            assert_eq!(ta.len(), tb.len(), "{ctx}: sample counts diverge");
+            let mut saw_aef = false;
+            for (a, b) in ta.samples().zip(tb.samples()) {
+                assert_eq!(
+                    (a.time, a.series, a.part),
+                    (b.time, b.series, b.part),
+                    "{ctx}"
+                );
+                if a.series == "aef" {
+                    saw_aef = true;
+                    continue;
+                }
+                assert_eq!(
+                    a.value.to_bits(),
+                    b.value.to_bits(),
+                    "{ctx}: sample diverged: {a:?} vs {b:?}"
+                );
+            }
+            assert!(saw_aef, "{ctx}: no aef samples — exclusion is vacuous");
+        }
+    }
+}
+
+/// What the excluded compositions *are* guaranteed: `max_futility_line`
+/// may pick a different line within the maximal futility class (tie
+/// order), but never a line from a lower class — both backends' picks
+/// carry the same coarse futility value at every step.
+#[test]
+fn max_futility_deviation_is_confined_to_tie_order() {
+    const P: PartitionId = PartitionId(0);
+    for (treap_name, bucket_name) in FAMILIES {
+        let mut treap = ranking::by_name(treap_name).unwrap();
+        let mut bucket = ranking::by_name(bucket_name).unwrap();
+        for r in [&mut treap, &mut bucket] {
+            r.reset(1);
+        }
+        let mut resident = std::collections::HashSet::new();
+        let mut x = 5u64;
+        for t in 0..4_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+            let addr = (x >> 33) % 96;
+            let hit = !resident.insert(addr);
+            for r in [&mut treap, &mut bucket] {
+                if hit {
+                    r.on_hit(P, addr, t, AccessMeta::default());
+                } else {
+                    r.on_insert(P, addr, t, AccessMeta::default());
+                }
+            }
+            if t % 61 == 0 && t > 0 {
+                let lt = treap.max_futility_line(P).expect("non-empty pool");
+                let lb = bucket.max_futility_line(P).expect("non-empty pool");
+                // Same class — compared through the *treap's* futility so
+                // a bucket bug cannot vouch for itself.
+                assert_eq!(
+                    treap.futility(P, lt),
+                    treap.futility(P, lb),
+                    "{bucket_name}: picks from different futility classes at t={t}"
+                );
+            }
+        }
+    }
+}

@@ -70,7 +70,16 @@ fn drive(cache: &mut PartitionedCache, wl: &(Vec<u16>, Vec<u64>, Vec<u64>)) {
 #[test]
 fn warm_cache_access_never_allocates() {
     let wl = workload();
-    let rankings = ["lru", "coarse-lru", "lfu", "random", "rrip", "opt"];
+    let rankings = [
+        "lru",
+        "coarse-lru",
+        "coarse-lru-bucket",
+        "lfu",
+        "random",
+        "rrip",
+        "rrip-bucket",
+        "opt",
+    ];
     let schemes = [
         "unpartitioned",
         "pf",
@@ -136,7 +145,16 @@ fn warm_batched_access_never_allocates() {
             .map(AccessMeta::with_next_use)
             .collect();
     let parts: Vec<PartitionId> = wl.0.iter().copied().map(PartitionId).collect();
-    let rankings = ["lru", "coarse-lru", "lfu", "random", "rrip", "opt"];
+    let rankings = [
+        "lru",
+        "coarse-lru",
+        "coarse-lru-bucket",
+        "lfu",
+        "random",
+        "rrip",
+        "rrip-bucket",
+        "opt",
+    ];
     let schemes = [
         "unpartitioned",
         "pf",
@@ -185,7 +203,11 @@ fn warm_batched_access_never_allocates() {
 /// the run gatherer plus both byte-lane scratch buffers — the engine's
 /// raw-numerator vector (coarse-lru / rrip) and fs-feedback's shifted
 /// copy — alongside a treap-exact ranking whose miss path stays on the
-/// f64 lane.
+/// f64 lane. The unsuffixed coarse names resolve to the *bucket*
+/// backends through `engine_for` (the default fast lane), so the first
+/// four cells prove the bucket-backed miss path — node free-list reuse
+/// across the evict-then-install order — and the `-treap` cells keep
+/// the retired arenas covered.
 #[test]
 fn warm_batched_miss_runs_never_allocate() {
     let mut rng = Prng::seed_from_u64(seed_for("no_alloc_miss_runs", 0));
@@ -203,6 +225,8 @@ fn warm_batched_miss_runs_never_allocate() {
         ("rrip", "unpartitioned"),
         ("coarse-lru", "unpartitioned"),
         ("rrip", "fs-feedback"),
+        ("coarse-lru-treap", "fs-feedback"),
+        ("rrip-treap", "unpartitioned"),
         ("lru", "fs-feedback"),
     ] {
         let mut cache = fs_bench::engine_for("set-assoc", ranking, scheme, LINES, 7, PARTS);

@@ -14,7 +14,7 @@ use testkit::{check, int_range, tk_assert, tk_assert_eq, vec_of, CaseResult};
 
 const PARTS: usize = 3;
 const ARRAYS: usize = 5;
-const RANKINGS: usize = 7;
+const RANKINGS: usize = 9;
 const SCHEMES: usize = 7;
 
 /// Mirror of the batch-equivalence grid, extended with way-partitioning
@@ -28,10 +28,13 @@ fn build(array_idx: usize, ranking_idx: usize, scheme_idx: usize, seed: u64) -> 
         3 => Box::new(RandomCandidates::new(32, 4, seed)),
         _ => Box::new(FullyAssociative::new(32)),
     };
-    let ranking: Box<dyn FutilityRanking> = if ranking_idx < 6 {
-        ranking::by_name(ranking::ALL_RANKINGS[ranking_idx]).unwrap()
-    } else {
-        cachesim::naive_lru()
+    // 0..6 the sweep registry, 6 the naive shadow reference, 7..9 the
+    // bucket backends with their own FSSN sections (DESIGN.md §14).
+    let ranking: Box<dyn FutilityRanking> = match ranking_idx {
+        i if i < 6 => ranking::by_name(ranking::ALL_RANKINGS[i]).unwrap(),
+        6 => cachesim::naive_lru(),
+        7 => ranking::by_name("coarse-lru-bucket").unwrap(),
+        _ => ranking::by_name("rrip-bucket").unwrap(),
     };
     let scheme: Box<dyn PartitionScheme> = match scheme_idx {
         0 => cachesim::evict_max_futility(),
@@ -285,10 +288,26 @@ fn checkpoint_before_warmup_reset_replays() {
 /// statistics, merged recorder rows, and final snapshot bytes.
 #[test]
 fn sharded_snapshot_resume_replays() {
+    // Both coarse-LRU backends: the treap default and the two-level
+    // bucket structure, whose nested per-shard images carry the
+    // "coarse-lru-bucket" FSSN section.
+    for backend in ["treap", "bucket"] {
+        sharded_snapshot_resume_replays_with(backend);
+    }
+}
+
+fn sharded_snapshot_resume_replays_with(backend: &str) {
     const SHARDS: usize = 4;
     const SH_PARTS: usize = 4;
     let build_sharded = || {
-        let mut e = fs_bench::sharded_engine_for("fs-feedback", 1024, SHARDS, SH_PARTS, 0xBEEF);
+        let mut e = fs_bench::sharded_engine_for_backend(
+            "fs-feedback",
+            1024,
+            SHARDS,
+            SH_PARTS,
+            0xBEEF,
+            backend,
+        );
         e.attach_timeseries(64, 256);
         e
     };
@@ -335,12 +354,23 @@ fn sharded_snapshot_resume_replays() {
 
     // Composition checks: wrong shard count and wrong partition count
     // both fail descriptively, and never panic.
-    let err = fs_bench::sharded_engine_for("fs-feedback", 1024, 2, SH_PARTS, 0xBEEF)
-        .restore(&snap)
-        .expect_err("shard-count mismatch must be rejected");
+    let err =
+        fs_bench::sharded_engine_for_backend("fs-feedback", 1024, 2, SH_PARTS, 0xBEEF, backend)
+            .restore(&snap)
+            .expect_err("shard-count mismatch must be rejected");
     assert!(format!("{err}").contains("shards"), "{err}");
-    let err = fs_bench::sharded_engine_for("fs-feedback", 1024, SHARDS, 8, 0xBEEF)
+    let err = fs_bench::sharded_engine_for_backend("fs-feedback", 1024, SHARDS, 8, 0xBEEF, backend)
         .restore(&snap)
         .expect_err("partition-count mismatch must be rejected");
     assert!(format!("{err}").contains("partitions"), "{err}");
+    // Backend mismatch: a snapshot from one coarse-LRU backend must not
+    // restore into the other (different FSSN ranking sections).
+    let other = if backend == "treap" {
+        "bucket"
+    } else {
+        "treap"
+    };
+    fs_bench::sharded_engine_for_backend("fs-feedback", 1024, SHARDS, SH_PARTS, 0xBEEF, other)
+        .restore(&snap)
+        .expect_err("backend mismatch must be rejected");
 }
